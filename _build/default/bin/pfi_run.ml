@@ -1,0 +1,208 @@
+(* pfi-run: command-line front end to the PFI reproduction.
+
+   - `pfi-run list`                what can be regenerated
+   - `pfi-run run table1 ...`      regenerate paper artifacts
+   - `pfi-run repl`                interactive script REPL (the filter
+                                   language, with a sample TCP segment bound)
+   - `pfi-run msc`                 the paper's Section 4.1 ladder diagram
+   - `pfi-run campaign <target>`   generated fault campaigns
+                                   (abp | abp-buggy | gmp | gmp-buggy) *)
+
+open Cmdliner
+open Pfi_experiments
+
+let artifacts : (string * string * (unit -> Report.t option)) list =
+  [ ("table1", "TCP retransmission timeouts", fun () -> Some (Tcp_experiments.table1 ()));
+    ("table2", "TCP RTO with delayed ACKs", fun () -> Some (Tcp_experiments.table2 ()));
+    ( "figure4",
+      "retransmission timeout series",
+      fun () ->
+        Report.print_figure (Tcp_experiments.figure4 ());
+        None );
+    ("table3", "TCP keep-alive", fun () -> Some (Tcp_experiments.table3 ()));
+    ("table4", "TCP zero-window probes", fun () -> Some (Tcp_experiments.table4 ()));
+    ("exp5", "TCP reordering", fun () -> Some (Tcp_experiments.exp5_report ()));
+    ("table5", "GMP packet interruption", fun () -> Some (Gmp_experiments.table5 ()));
+    ("table6", "GMP network partitions", fun () -> Some (Gmp_experiments.table6 ()));
+    ("table7", "GMP proclaim forwarding", fun () -> Some (Gmp_experiments.table7 ()));
+    ("table8", "GMP timer test", fun () -> Some (Gmp_experiments.table8 ()));
+    ( "ablation-karn",
+      "ablation: Karn sampling on/off",
+      fun () -> Some (Ablations.table_karn ()) );
+    ( "ablation-counter",
+      "ablation: retry accounting policy",
+      fun () -> Some (Ablations.table_counter ()) ) ]
+
+let list_cmd =
+  let doc = "List the paper artifacts this reproduction can regenerate." in
+  let run () =
+    List.iter
+      (fun (name, desc, _) -> Printf.printf "  %-10s %s\n" name desc)
+      artifacts
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_one name =
+  match List.find_opt (fun (n, _, _) -> n = name) artifacts with
+  | None ->
+    Printf.eprintf "unknown artifact %S (try `pfi_run list`)\n" name;
+    exit 1
+  | Some (_, desc, gen) -> (
+    Printf.printf "== %s: %s ==\n%!" name desc;
+    match gen () with
+    | Some table -> Report.print table
+    | None -> ())
+
+let run_cmd =
+  let doc = "Regenerate one or more paper artifacts (or `all`)." in
+  let names =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ARTIFACT")
+  in
+  let run names =
+    let names =
+      if List.mem "all" names then List.map (fun (n, _, _) -> n) artifacts
+      else names
+    in
+    List.iter run_one names
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ names)
+
+(* A REPL over the filter scripting language, with a sample TCP segment
+   bound as cur_msg so msg_* commands can be explored interactively. *)
+let repl () =
+  let open Pfi_engine in
+  let open Pfi_stack in
+  let sim = Sim.create () in
+  let pfi =
+    Pfi_core.Pfi_layer.create ~sim ~node:"repl" ~stub:Pfi_tcp.Tcp_stub.stub ()
+  in
+  let sink =
+    Layer.create ~name:"sink" ~node:"repl"
+      { on_push =
+          (fun _ msg ->
+            Printf.printf "  (a message left the layer downward: %s)\n"
+              (Message.hex ~max_bytes:20 msg));
+        on_pop = (fun _ _ -> ()) }
+  in
+  Layer.link ~upper:(Pfi_core.Pfi_layer.layer pfi) ~lower:sink;
+  let sample =
+    Pfi_tcp.Segment.make
+      ~payload:(Bytes.of_string "hello")
+      ~src_port:1234 ~dst_port:80 ~seq:1000 ~ack:2000
+      ~flags:Pfi_tcp.Segment.flag_ack ~window:4096 ()
+  in
+  print_endline "PFI filter-script REPL.  A sample TCP DATA segment is processed";
+  print_endline "through the send filter each time you press Enter after a script.";
+  print_endline "Commands: msg_type, msg_field, xDrop, xDelay, expr, set, puts, ...";
+  print_endline "Type 'quit' to exit.";
+  let rec loop () =
+    print_string "pfi> ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | "quit" | "exit" -> ()
+    | line ->
+      Pfi_core.Pfi_layer.set_send_filter pfi line;
+      (try
+         let msg = Pfi_tcp.Segment.to_message sample ~dst:"peer" in
+         Layer.push (Pfi_core.Pfi_layer.layer pfi) msg;
+         Sim.run sim
+       with
+       | Failure msg -> Printf.printf "  error: %s\n" msg
+       | Pfi_script.Parser.Parse_error msg -> Printf.printf "  parse error: %s\n" msg);
+      let stats = Pfi_core.Pfi_layer.send_stats pfi in
+      Printf.printf "  [passed=%d dropped=%d delayed=%d dup=%d modified=%d]\n"
+        stats.Pfi_core.Pfi_layer.passed stats.Pfi_core.Pfi_layer.dropped
+        stats.Pfi_core.Pfi_layer.delayed stats.Pfi_core.Pfi_layer.duplicated
+        stats.Pfi_core.Pfi_layer.modified;
+      loop ()
+  in
+  loop ()
+
+let repl_cmd =
+  let doc = "Interactive REPL over the PFI filter scripting language." in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const repl $ const ())
+
+(* Re-runs the Solaris global-error-counter experiment with MSC
+   recording on and prints the ladder diagram the paper draws in §4.1
+   (m1 retransmitted six times, its delayed ACK, then m2 three times). *)
+let msc () =
+  let open Pfi_engine in
+  let open Pfi_core in
+  let rig = Tcp_rig.make ~profile:Pfi_tcp.Profile.solaris_23 () in
+  Pfi_netsim.Network.set_msc_enabled rig.Tcp_rig.net true;
+  let vconn, _xc = Tcp_rig.connect rig in
+  Pfi_layer.set_receive_filter rig.Tcp_rig.pfi
+    {|
+if {![info exists count]} { set count 0 }
+incr count
+if {$count == 31} { peer_set delay_next_ack 1 }
+if {$count > 31} { xDrop cur_msg }
+|};
+  Pfi_layer.set_send_filter rig.Tcp_rig.pfi
+    {|
+if {![info exists delay_next_ack]} { set delay_next_ack 0 }
+if {$delay_next_ack == 1 && [msg_type cur_msg] == "ACK"} {
+  set delay_next_ack 0
+  xDelay cur_msg 35.0
+}
+|};
+  let t_filter = Sim.now rig.Tcp_rig.sim in
+  Tcp_rig.feed_vendor rig ~conn:vconn ~chunk:128 ~every:(Vtime.ms 400) ~count:32;
+  Sim.run ~until:(Vtime.hours 1) rig.Tcp_rig.sim;
+  print_endline
+    "Message sequence chart: the Solaris global-error-counter discovery";
+  print_endline
+    "(m1's ACK delayed 35 s; X marks messages the PFI layer or network dropped)\n";
+  (* show only the interesting tail: from shortly before the drop phase *)
+  let events =
+    List.filter
+      (fun e -> Vtime.(e.Pfi_netsim.Msc.time >= Vtime.add t_filter (Vtime.sec 12)))
+      (Pfi_netsim.Msc.events (Sim.trace rig.Tcp_rig.sim))
+  in
+  Pfi_netsim.Msc.render ~nodes:[ Tcp_rig.vendor_node; Tcp_rig.xk_node ]
+    Format.std_formatter events
+
+let msc_cmd =
+  let doc =
+    "Print the paper's global-error-counter ladder diagram (regenerated)."
+  in
+  Cmd.v (Cmd.info "msc" ~doc) Term.(const msc $ const ())
+
+(* fault-injection campaigns from generated scripts *)
+let campaign which =
+  let open Pfi_testgen in
+  let print_abp ~bug =
+    let outcomes = Abp_harness.run_campaign ~bug_ignore_ack_bit:bug () in
+    print_string (Campaign.summary outcomes)
+  in
+  let print_gmp ~bugs =
+    match Gmp_harness.run_campaign ~bugs () with
+    | Ok outcomes -> print_string (Campaign.summary outcomes)
+    | Error reason ->
+      Printf.printf "the fault-free control trial already fails: %s\n" reason
+  in
+  match which with
+  | "abp" -> print_abp ~bug:false
+  | "abp-buggy" -> print_abp ~bug:true
+  | "gmp" -> print_gmp ~bugs:Pfi_gmp.Gmd.no_bugs
+  | "gmp-buggy" -> print_gmp ~bugs:Pfi_gmp.Gmd.all_bugs
+  | other ->
+    Printf.eprintf "unknown campaign %S (abp, abp-buggy, gmp, gmp-buggy)\n" other;
+    exit 1
+
+let campaign_cmd =
+  let doc =
+    "Run a generated fault-injection campaign (abp | abp-buggy | gmp |      gmp-buggy)."
+  in
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
+  Cmd.v (Cmd.info "campaign" ~doc) Term.(const campaign $ which)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "pfi_run" ~version:"1.0.0"
+      ~doc:"Script-driven probing and fault injection of protocol implementations"
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd; repl_cmd; msc_cmd; campaign_cmd ]))

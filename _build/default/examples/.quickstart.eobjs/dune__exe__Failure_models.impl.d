@@ -1,0 +1,1 @@
+examples/failure_models.ml: Driver Failure_models Layer List Message Network Pfi_core Pfi_engine Pfi_layer Pfi_netsim Pfi_stack Printf Sim Vtime

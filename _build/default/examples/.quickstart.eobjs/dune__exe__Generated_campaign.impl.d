@@ -1,0 +1,1 @@
+examples/generated_campaign.ml: Abp_harness Campaign Generator Pfi_testgen

@@ -1,0 +1,1 @@
+examples/gmp_chaos.ml: Gmd Gmp_rig List Pfi_engine Pfi_experiments Pfi_gmp Pfi_netsim Printf Sim String Vtime

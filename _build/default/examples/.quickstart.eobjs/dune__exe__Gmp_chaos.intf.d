@@ -1,0 +1,1 @@
+examples/gmp_chaos.mli:

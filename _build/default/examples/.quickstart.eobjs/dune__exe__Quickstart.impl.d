@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Driver Layer List Message Network Option Pfi_core Pfi_engine Pfi_layer Pfi_netsim Pfi_stack Printf Sim Stubs Trace

@@ -1,0 +1,1 @@
+examples/tcp_probing.ml: List Pfi_core Pfi_engine Pfi_experiments Pfi_layer Pfi_tcp Printf Profile Sim Tcp Tcp_rig Trace Vtime

@@ -1,0 +1,1 @@
+lib/abp/abp.ml: Bytes Bytes_codec Char Layer List Message Option Pfi_core Pfi_engine Pfi_netsim Pfi_stack Printf Sim Timer Vtime

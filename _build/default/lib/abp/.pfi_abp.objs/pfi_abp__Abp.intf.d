@@ -1,0 +1,1 @@
+lib/abp/abp.mli: Pfi_core Pfi_engine Pfi_stack Sim Vtime

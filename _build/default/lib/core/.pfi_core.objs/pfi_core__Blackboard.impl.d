@@ -1,0 +1,1 @@
+lib/core/blackboard.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/failure_models.ml: Float Message Pfi_engine Pfi_layer Pfi_stack Printf Rng Sim Vtime

@@ -1,0 +1,1 @@
+lib/core/failure_models.mli: Pfi_engine Pfi_layer Vtime

@@ -1,0 +1,1 @@
+lib/core/pfi_layer.ml: Ast Blackboard Format Hashtbl Int64 Interp Layer List Message Option Pfi_engine Pfi_script Pfi_stack Printf Queue Rng Script Sim String Stubs Timer Vtime

@@ -1,0 +1,1 @@
+lib/core/pfi_layer.mli: Blackboard Layer Message Pfi_engine Pfi_script Pfi_stack Sim Stubs Vtime

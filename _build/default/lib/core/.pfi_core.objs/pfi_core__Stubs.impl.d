@@ -1,0 +1,1 @@
+lib/core/stubs.ml: Hashtbl List Message Pfi_stack Printf

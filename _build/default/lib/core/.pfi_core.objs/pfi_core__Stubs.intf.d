@@ -1,0 +1,1 @@
+lib/core/stubs.mli: Pfi_stack

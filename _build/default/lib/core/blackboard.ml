@@ -1,0 +1,22 @@
+type t = (string, string) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let set t key value = Hashtbl.replace t key value
+let get t key = Hashtbl.find_opt t key
+
+let get_default t key ~default = Option.value (get t key) ~default
+
+let incr t key =
+  let current =
+    match get t key with
+    | Some v -> (match int_of_string_opt v with Some i -> i | None -> 0)
+    | None -> 0
+  in
+  let updated = current + 1 in
+  set t key (string_of_int updated);
+  updated
+
+let remove t key = Hashtbl.remove t key
+let clear t = Hashtbl.reset t
+let keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])

@@ -1,0 +1,22 @@
+(** Shared key/value blackboard for cross-layer script synchronisation.
+
+    The paper lists "synchronizing scripts executed by PFI layers running
+    on different nodes" among the predefined library facilities.  In the
+    simulator all PFI layers of an experiment share one blackboard: a
+    script on node A sets a key, a script on node B branches on it.  The
+    experiment harness can also use it to flip global test phases. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> string -> string -> unit
+val get : t -> string -> string option
+val get_default : t -> string -> default:string -> string
+val incr : t -> string -> int
+(** Increments an integer-valued key (missing counts as 0); returns the
+    new value. *)
+
+val remove : t -> string -> unit
+val clear : t -> unit
+val keys : t -> string list

@@ -1,0 +1,41 @@
+(** The failure-model library (paper §2.2).
+
+    Each constructor describes one way a protocol participant may
+    deviate from its specification; {!apply} installs native filters on
+    a PFI layer that emulate the misbehaviour.  Models are ordered by
+    severity: a model [b] is more severe than [a] when the faulty
+    behaviours allowed by [a] are a proper subset of those allowed by
+    [b], so an implementation tolerating [b] also tolerates [a]. *)
+
+open Pfi_engine
+
+type t =
+  | Process_crash of { at : Vtime.t }
+      (** halt at [at]: nothing is sent or received from then on
+          (correct behaviour before) *)
+  | Link_crash of { at : Vtime.t }
+      (** the outgoing link stops transporting messages at [at] *)
+  | Send_omission of { p : float }
+      (** each outgoing message is omitted with probability [p] *)
+  | Receive_omission of { p : float }
+      (** each incoming message is omitted with probability [p] *)
+  | General_omission of { p_send : float; p_recv : float }
+  | Timing of { mean : float; std : float }
+      (** every message is delayed by [max 0 (normal mean std)] seconds:
+          steps take longer than their specified bound *)
+  | Byzantine of { corrupt_p : float; reorder_p : float; duplicate_p : float }
+      (** arbitrary behaviour: random corruption, reordering (via a
+          hold-and-release queue) and duplication of outgoing messages *)
+
+val severity : t -> int
+(** Position in the severity order (crash = 0 ... byzantine = 6). *)
+
+val more_severe : t -> t -> bool
+(** [more_severe a b] iff [a] allows strictly more faulty behaviour. *)
+
+val describe : t -> string
+
+val apply : Pfi_layer.t -> t -> unit
+(** Installs the model on the layer as native filters (and, for
+    byzantine reordering, a periodic release timer).  Several models can
+    be layered on the same PFI layer. *)

@@ -1,0 +1,134 @@
+(** The probe/fault-injection layer.
+
+    A PFI layer is spliced between two layers of a protocol stack
+    ({!Pfi_stack.Layer.insert_below} the target).  Each message pushed
+    down through it runs the {e send filter}; each message popped up
+    through it runs the {e receive filter}.  Filters are scripts
+    evaluated in persistent interpreters (state survives across
+    messages) or native OCaml functions, and may:
+
+    - {b filter}: inspect type/fields via the packet stub;
+    - {b manipulate}: drop, delay, reorder (hold/release), duplicate or
+      modify the current message;
+    - {b inject}: generate fresh (stateless) packets and introduce them
+      in either direction.
+
+    The send and receive interpreters can read and write each other's
+    variables, layers on different nodes can be {!connect}ed for direct
+    cross-node script communication, and all layers of an experiment
+    share a {!Blackboard} for global synchronisation. *)
+
+open Pfi_engine
+open Pfi_stack
+
+type t
+
+val create :
+  sim:Sim.t ->
+  node:string ->
+  ?name:string ->
+  ?stub:Stubs.t ->
+  ?blackboard:Blackboard.t ->
+  unit ->
+  t
+(** A fresh PFI layer with empty filters (everything passes).  [name]
+    defaults to ["pfi"], [stub] to {!Stubs.raw}; a private blackboard is
+    created unless one is shared in. *)
+
+val layer : t -> Layer.t
+val node : t -> string
+val sim : t -> Sim.t
+val stub : t -> Stubs.t
+val set_stub : t -> Stubs.t -> unit
+val blackboard : t -> Blackboard.t
+
+val connect : t list -> unit
+(** Makes the given layers visible to each other's scripts by node name
+    ([node_set]/[node_get] commands). *)
+
+(** {1 Filter scripts}
+
+    Scripts are compiled once on installation.  Available commands
+    (beyond the {!Pfi_script.Builtins} standard library):
+
+    - inspection: [msg_type h], [msg_len h], [msg_hex h], [msg_data h],
+      [msg_field h f], [msg_attr h k], [msg_log h ?tag?]
+    - modification: [msg_set_field h f v], [msg_set_attr h k v],
+      [xCorrupt h ?offset?]
+    - verdicts on [cur_msg]: [xDrop], [xDelay h seconds], [xHold h q],
+      [xDup h ?count?]; default is to pass
+    - reordering: [xRelease ?-reverse? q], [xHeldCount q]
+    - generation/injection: [msg_gen k v ...], [msg_copy h],
+      [inject_down h ?delay?], [inject_up h ?delay?]
+    - time: [now], [now_us], [timer_set name seconds script],
+      [timer_cancel name]
+    - state sharing: [peer_set]/[peer_get] (other interpreter, same
+      node), [node_set]/[node_get] (connected peer nodes),
+      [bb_set]/[bb_get]/[bb_incr] (experiment blackboard)
+    - probability: [dst_normal mean std], [dst_uniform lo hi],
+      [dst_exponential mean], [chance p]
+    - logging: [log tag detail...]
+
+    The globals [direction] ("send"/"receive") and [pfi_node] are
+    pre-set in each interpreter. *)
+
+val set_send_filter : t -> string -> unit
+val set_receive_filter : t -> string -> unit
+val clear_send_filter : t -> unit
+val clear_receive_filter : t -> unit
+
+val send_interp : t -> Pfi_script.Interp.t
+val receive_interp : t -> Pfi_script.Interp.t
+
+val eval_in : t -> [ `Send | `Receive ] -> string -> string
+(** Evaluates a script in one of the filter interpreters outside any
+    message context — for test setup ("set dropping 1") and probing. *)
+
+(** {1 Native filters}
+
+    OCaml-coded filters, the analogue of the paper's user-defined C
+    procedures.  They run before the script; the first non-[Pass]
+    verdict short-circuits. *)
+
+type native_action =
+  | Pass
+  | Drop
+  | Delay of Vtime.t
+
+val add_native_send : t -> ?label:string -> (Message.t -> native_action) -> unit
+val add_native_receive : t -> ?label:string -> (Message.t -> native_action) -> unit
+val clear_native_filters : t -> unit
+
+(** {1 Host-side injection} *)
+
+val inject_down : t -> ?delay:Vtime.t -> Message.t -> unit
+(** Introduces a message below the layer (continues toward the wire)
+    without running filters. *)
+
+val inject_up : t -> ?delay:Vtime.t -> Message.t -> unit
+(** Introduces a message above the layer (continues toward the target
+    protocol) without running filters. *)
+
+(** {1 Hold queues (reordering)} *)
+
+val release : t -> ?reverse:bool -> string -> unit
+(** Sends every message held in the named queue onward in its original
+    direction, FIFO (or LIFO with [reverse]). *)
+
+val held_count : t -> string -> int
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable passed : int;
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable duplicated : int;
+  mutable held : int;
+  mutable injected : int;
+  mutable modified : int;
+}
+
+val send_stats : t -> stats
+val receive_stats : t -> stats
+val total_filtered : t -> int

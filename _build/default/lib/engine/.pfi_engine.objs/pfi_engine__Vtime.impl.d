@@ -1,0 +1,1 @@
+lib/engine/vtime.ml: Format Int64 Stdlib

@@ -1,0 +1,106 @@
+type state = Pending | Cancelled | Fired
+
+type handle = { mutable state : state }
+
+type 'a entry = {
+  time : Vtime.t;
+  seq : int;
+  h : handle;
+  value : 'a;
+}
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0; live = 0 }
+
+let is_empty t = t.live = 0
+let size t = t.live
+
+let entry_lt a b =
+  let c = Vtime.compare a.time b.time in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = i in
+  let smallest = if l < t.len && entry_lt t.heap.(l) t.heap.(smallest) then l else smallest in
+  let smallest = if r < t.len && entry_lt t.heap.(r) t.heap.(smallest) then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let grow t entry =
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry
+  else if t.len >= Array.length t.heap then begin
+    let heap = Array.make (Array.length t.heap * 2) entry in
+    Array.blit t.heap 0 heap 0 t.len;
+    t.heap <- heap
+  end
+
+let push t ~time value =
+  let h = { state = Pending } in
+  let entry = { time; seq = t.next_seq; h; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1);
+  t.live <- t.live + 1;
+  h
+
+let cancel t h =
+  match h.state with
+  | Pending ->
+    h.state <- Cancelled;
+    t.live <- t.live - 1
+  | Cancelled | Fired -> ()
+
+let pop_top t =
+  let top = t.heap.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.heap.(0) <- t.heap.(t.len);
+    sift_down t 0
+  end;
+  top
+
+(* Discard cancelled entries sitting at the top of the heap. *)
+let rec drain_dead t =
+  if t.len > 0 && t.heap.(0).h.state = Cancelled then begin
+    ignore (pop_top t);
+    drain_dead t
+  end
+
+let peek_time t =
+  drain_dead t;
+  if t.len = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  drain_dead t;
+  if t.len = 0 then None
+  else begin
+    let top = pop_top t in
+    top.h.state <- Fired;
+    t.live <- t.live - 1;
+    Some (top.time, top.value)
+  end

@@ -1,0 +1,29 @@
+(** Priority queue of scheduled events.
+
+    A binary min-heap ordered by (time, insertion sequence); two events at
+    the same virtual time fire in the order they were scheduled, which keeps
+    runs deterministic.  Cancellation is O(1) by marking; dead entries are
+    dropped lazily when they reach the top. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event, for cancellation. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Live (non-cancelled) entries. *)
+
+val push : 'a t -> time:Vtime.t -> 'a -> handle
+
+val cancel : 'a t -> handle -> unit
+(** Cancelling twice, or cancelling an already-popped event, is a no-op. *)
+
+val peek_time : 'a t -> Vtime.t option
+(** Time of the earliest live event. *)
+
+val pop : 'a t -> (Vtime.t * 'a) option
+(** Removes and returns the earliest live event. *)

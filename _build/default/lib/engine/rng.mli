@@ -1,0 +1,48 @@
+(** Deterministic random number generation.
+
+    Every source of randomness in a simulation flows from one of these
+    generators so that a run is exactly reproducible from its seed.  The
+    core generator is splitmix64, which is small, fast and splittable —
+    each protocol participant can carry an independent stream derived
+    from the experiment seed. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val split : t -> t
+(** Derives an independent generator; the parent advances. *)
+
+val copy : t -> t
+
+(** {1 Raw draws} *)
+
+val bits64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+(** {1 Distributions}
+
+    These back the script-level [dst_*] utilities the paper exposes for
+    probabilistic fault injection. *)
+
+val bernoulli : t -> p:float -> bool
+(** True with probability [p]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val normal : t -> mean:float -> std:float -> float
+(** Box–Muller transform. *)
+
+val exponential : t -> mean:float -> float
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success; [0 < p <= 1]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,64 @@
+type handle = Event_queue.handle
+
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Vtime.t;
+  root_rng : Rng.t;
+  trace : Trace.t;
+  mutable stopping : bool;
+}
+
+exception Stop
+
+let create ?(seed = 1L) () =
+  { queue = Event_queue.create ();
+    clock = Vtime.zero;
+    root_rng = Rng.create ~seed;
+    trace = Trace.create ();
+    stopping = false }
+
+let now t = t.clock
+let rng t = t.root_rng
+let trace t = t.trace
+
+let record t ~node ~tag detail =
+  Trace.record t.trace ~time:t.clock ~node ~tag detail
+
+let schedule_at t ~time callback =
+  let time = Vtime.max time t.clock in
+  Event_queue.push t.queue ~time callback
+
+let schedule t ~delay callback =
+  let delay = Vtime.max delay Vtime.zero in
+  schedule_at t ~time:(Vtime.add t.clock delay) callback
+
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let pending t = Event_queue.size t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, callback) ->
+    t.clock <- time;
+    callback ();
+    true
+
+let stop t = t.stopping <- true
+
+let run ?(until = Vtime.infinity) ?(max_events = 10_000_000) t =
+  t.stopping <- false;
+  let rec loop fired =
+    if fired >= max_events then
+      failwith "Sim.run: max_events exceeded (runaway simulation?)"
+    else if t.stopping then ()
+    else
+      match Event_queue.peek_time t.queue with
+      | None -> ()
+      | Some time when Vtime.(time > until) ->
+        (* leave future events queued; clock parks at the horizon *)
+        t.clock <- until
+      | Some _ ->
+        if step t then loop (fired + 1)
+  in
+  loop 0

@@ -1,0 +1,54 @@
+(** The discrete-event simulator.
+
+    A simulation is a virtual clock plus a queue of pending callbacks.
+    [run] repeatedly advances the clock to the earliest pending event and
+    fires it; two events at the same instant fire in scheduling order, so a
+    run is a pure function of its seed and initial schedule. *)
+
+type t
+
+type handle
+(** A scheduled callback, for cancellation. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [seed] defaults to [1L]. *)
+
+val now : t -> Vtime.t
+
+val rng : t -> Rng.t
+(** The root generator.  Components should {!Rng.split} their own stream
+    from it at setup time so their draws do not interleave. *)
+
+val trace : t -> Trace.t
+(** The shared experiment trace. *)
+
+val record : t -> node:string -> tag:string -> string -> unit
+(** Appends to {!trace} stamped with the current virtual time. *)
+
+(** {1 Scheduling} *)
+
+val schedule : t -> delay:Vtime.t -> (unit -> unit) -> handle
+(** Fire the callback [delay] after the current time.  Negative delays are
+    clamped to zero. *)
+
+val schedule_at : t -> time:Vtime.t -> (unit -> unit) -> handle
+(** Fire at an absolute time; times in the past are clamped to now. *)
+
+val cancel : t -> handle -> unit
+
+val pending : t -> int
+
+(** {1 Running} *)
+
+val step : t -> bool
+(** Fires the single earliest event.  False if the queue was empty. *)
+
+val run : ?until:Vtime.t -> ?max_events:int -> t -> unit
+(** Runs until the queue is empty, the clock would pass [until], or
+    [max_events] callbacks have fired (a runaway backstop; default
+    10,000,000).  Events scheduled exactly at [until] still fire. *)
+
+exception Stop
+
+val stop : t -> unit
+(** Makes the innermost [run] return after the current callback. *)

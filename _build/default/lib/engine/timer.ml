@@ -1,0 +1,51 @@
+type t = {
+  sim : Sim.t;
+  name : string;
+  callback : unit -> unit;
+  interval : Vtime.t option;  (* Some i for periodic timers *)
+  mutable handle : Sim.handle option;
+  mutable deadline : Vtime.t option;
+  mutable fired : int;
+}
+
+let make sim ~name ~interval ~callback =
+  { sim; name; callback; interval; handle = None; deadline = None; fired = 0 }
+
+let create sim ~name ~callback = make sim ~name ~interval:None ~callback
+
+let create_periodic sim ~name ~interval ~callback =
+  make sim ~name ~interval:(Some interval) ~callback
+
+let disarm t =
+  (match t.handle with None -> () | Some h -> Sim.cancel t.sim h);
+  t.handle <- None;
+  t.deadline <- None
+
+let rec fire t =
+  t.handle <- None;
+  t.deadline <- None;
+  t.fired <- t.fired + 1;
+  (* Re-arm periodic timers before the callback so the callback may
+     disarm or re-arm with a different phase. *)
+  (match t.interval with
+   | Some interval -> arm t ~delay:interval
+   | None -> ());
+  t.callback ()
+
+and arm t ~delay =
+  disarm t;
+  t.deadline <- Some (Vtime.add (Sim.now t.sim) (Vtime.max delay Vtime.zero));
+  t.handle <- Some (Sim.schedule t.sim ~delay (fun () -> fire t))
+
+let is_armed t = t.handle <> None
+
+let name t = t.name
+
+let deadline t = t.deadline
+
+let remaining t =
+  match t.deadline with
+  | None -> None
+  | Some d -> Some (Vtime.sub d (Sim.now t.sim))
+
+let fired_count t = t.fired

@@ -1,0 +1,50 @@
+type entry = {
+  time : Vtime.t;
+  node : string;
+  tag : string;
+  detail : string;
+}
+
+type t = { mutable rev_entries : entry list; mutable length : int }
+
+let create () = { rev_entries = []; length = 0 }
+
+let record t ~time ~node ~tag detail =
+  t.rev_entries <- { time; node; tag; detail } :: t.rev_entries;
+  t.length <- t.length + 1
+
+let clear t =
+  t.rev_entries <- [];
+  t.length <- 0
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.length
+
+let matches ?node ?tag e =
+  (match node with None -> true | Some n -> String.equal e.node n)
+  && (match tag with None -> true | Some g -> String.equal e.tag g)
+
+let find ?node ?tag t =
+  List.filter (matches ?node ?tag) (entries t)
+
+let timestamps ?node ~tag t =
+  List.map (fun e -> e.time) (find ?node ~tag t)
+
+let intervals ?node ~tag t =
+  let rec diffs = function
+    | a :: (b :: _ as rest) -> Vtime.sub b a :: diffs rest
+    | [ _ ] | [] -> []
+  in
+  diffs (timestamps ?node ~tag t)
+
+let count ?node ~tag t = List.length (find ?node ~tag t)
+
+let last ?node ?tag t =
+  List.find_opt (matches ?node ?tag) t.rev_entries
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%a] %-12s %-24s %s" Vtime.pp e.time e.node e.tag e.detail
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

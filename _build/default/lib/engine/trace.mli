@@ -1,0 +1,43 @@
+(** Experiment trace recorder.
+
+    Every experiment in the paper reduces to "the receive filter script
+    logged each packet with a timestamp".  [Trace.t] is that log: a flat,
+    append-only sequence of timestamped entries that analysis code queries
+    after the run. *)
+
+type entry = {
+  time : Vtime.t;
+  node : string;  (** which participant recorded the entry *)
+  tag : string;   (** category, e.g. ["tcp.retransmit"] or ["gmp.commit"] *)
+  detail : string;
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:Vtime.t -> node:string -> tag:string -> string -> unit
+
+val clear : t -> unit
+
+val entries : t -> entry list
+(** In recording order. *)
+
+val length : t -> int
+
+val find : ?node:string -> ?tag:string -> t -> entry list
+(** Entries matching all the given criteria, in recording order. *)
+
+val timestamps : ?node:string -> tag:string -> t -> Vtime.t list
+
+val intervals : ?node:string -> tag:string -> t -> Vtime.t list
+(** Successive differences of {!timestamps}: the gaps between events —
+    exactly what the retransmission-interval tables report. *)
+
+val count : ?node:string -> tag:string -> t -> int
+
+val last : ?node:string -> ?tag:string -> t -> entry option
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : Format.formatter -> t -> unit

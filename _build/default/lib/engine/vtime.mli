@@ -1,0 +1,57 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is an absolute count of microseconds since the start of a
+    simulation, represented as an [int64].  Durations (spans) share the
+    representation; the arithmetic below keeps the two uses readable. *)
+
+type t = int64
+
+val zero : t
+
+val infinity : t
+(** A time later than any time the simulator will ever reach. *)
+
+(** {1 Constructors} *)
+
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+val minutes : int -> t
+val hours : int -> t
+
+val of_sec_f : float -> t
+(** [of_sec_f 0.33] is 330 ms.  Fractional seconds are truncated to the
+    microsecond. *)
+
+(** {1 Conversions} *)
+
+val to_us : t -> int64
+val to_ms_f : t -> float
+val to_sec_f : t -> float
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> int -> t
+val div : t -> int -> t
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val equal : t -> t -> bool
+
+val clamp : lo:t -> hi:t -> t -> t
+
+val round_up_to : granule:t -> t -> t
+(** [round_up_to ~granule t] is the smallest multiple of [granule] that is
+    [>= t].  Models coarse kernel timer ticks (e.g. the BSD 500 ms slow
+    timeout).  [granule <= 0] returns [t] unchanged. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a human-friendly rendering, e.g. ["6.500s"] or ["330ms"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: List Pfi_core Pfi_engine Pfi_netsim Pfi_tcp Printf Profile Report Sim Tcp Tcp_rig Vtime

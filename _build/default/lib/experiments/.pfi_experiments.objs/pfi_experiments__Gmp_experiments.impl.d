@@ -1,0 +1,1 @@
+lib/experiments/gmp_experiments.ml: Blackboard Gmd Gmp_rig List Pfi_core Pfi_engine Pfi_gmp Pfi_layer Printf Report Sim String Trace Vtime

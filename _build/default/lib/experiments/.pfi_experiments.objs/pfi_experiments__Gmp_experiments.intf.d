@@ -1,0 +1,1 @@
+lib/experiments/gmp_experiments.mli: Report

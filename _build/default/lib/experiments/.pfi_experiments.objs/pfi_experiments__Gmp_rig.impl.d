@@ -1,0 +1,1 @@
+lib/experiments/gmp_rig.ml: Blackboard Gmd Gmp_stub Layer List Network Option Pfi_core Pfi_engine Pfi_gmp Pfi_layer Pfi_netsim Pfi_stack Printf Rel_udp Sim Vtime

@@ -1,0 +1,1 @@
+lib/experiments/gmp_rig.mli: Gmd Pfi_core Pfi_engine Pfi_gmp Pfi_netsim Rel_udp Sim Vtime

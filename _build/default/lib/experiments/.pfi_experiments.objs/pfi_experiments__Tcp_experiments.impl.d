@@ -1,0 +1,1 @@
+lib/experiments/tcp_experiments.ml: Blackboard Buffer Hashtbl List Option Pfi_core Pfi_engine Pfi_layer Pfi_netsim Pfi_tcp Printf Profile Report Sim String Tcp Tcp_rig Trace Vtime

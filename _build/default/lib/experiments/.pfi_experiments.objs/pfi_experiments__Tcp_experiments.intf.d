@@ -1,0 +1,1 @@
+lib/experiments/tcp_experiments.mli: Pfi_engine Pfi_tcp Profile Report Vtime

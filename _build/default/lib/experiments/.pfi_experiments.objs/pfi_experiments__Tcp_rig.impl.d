@@ -1,0 +1,1 @@
+lib/experiments/tcp_rig.ml: Hashtbl Ip_lite Layer List Network Option Pfi_core Pfi_engine Pfi_layer Pfi_netsim Pfi_stack Pfi_tcp Profile Sim String Tcp Tcp_stub Trace Vtime

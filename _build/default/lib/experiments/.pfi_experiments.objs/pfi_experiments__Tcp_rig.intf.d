@@ -1,0 +1,1 @@
+lib/experiments/tcp_rig.mli: Pfi_core Pfi_engine Pfi_netsim Pfi_tcp Profile Sim Tcp Vtime

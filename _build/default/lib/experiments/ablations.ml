@@ -1,0 +1,140 @@
+open Pfi_engine
+open Pfi_tcp
+
+(* ------------------------------------------------------------------ *)
+(* Karn's sampling rule                                               *)
+(* ------------------------------------------------------------------ *)
+
+type karn_measurement = {
+  with_karn_srtt : Vtime.t option;
+  without_karn_srtt : Vtime.t option;
+  true_rtt : Vtime.t;
+  with_karn_retransmits : int;
+  without_karn_retransmits : int;
+}
+
+(* a lossy 200 ms-RTT path; the estimator should settle near 200 ms *)
+let run_karn_variant ~karn_sampling =
+  let profile =
+    { Profile.xkernel with
+      Profile.name = "ablation";
+      Profile.karn_sampling;
+      (* small floor so the estimate itself is visible, and no backoff
+         retention so both variants retransmit alike *)
+      Profile.rttvar_floor = Vtime.ms 10;
+      Profile.rto_granule = Vtime.ms 10 }
+  in
+  let rig = Tcp_rig.make ~profile ~seed:909L () in
+  Pfi_netsim.Network.set_latency rig.Tcp_rig.net ~src:Tcp_rig.vendor_node
+    ~dst:Tcp_rig.xk_node (Vtime.ms 100);
+  Pfi_netsim.Network.set_latency rig.Tcp_rig.net ~src:Tcp_rig.xk_node
+    ~dst:Tcp_rig.vendor_node (Vtime.ms 100);
+  let vconn, _xc = Tcp_rig.connect rig in
+  (* 25% loss on the data path, injected as a receive-omission failure
+     model on the x-Kernel PFI layer *)
+  Pfi_core.Failure_models.apply rig.Tcp_rig.pfi
+    (Pfi_core.Failure_models.Receive_omission { p = 0.25 });
+  (* spaced sends so each segment is individually timed *)
+  for i = 1 to 60 do
+    ignore
+      (Sim.schedule rig.Tcp_rig.sim ~delay:(Vtime.mul (Vtime.sec 2) i) (fun () ->
+           if Tcp.state vconn = Tcp.Established then Tcp.send vconn "0123456789"))
+  done;
+  Sim.run ~until:(Vtime.minutes 4) rig.Tcp_rig.sim;
+  (Tcp.srtt vconn, Tcp.total_retransmits vconn)
+
+let karn_sampling () =
+  let with_srtt, with_rexmt = run_karn_variant ~karn_sampling:true in
+  let without_srtt, without_rexmt = run_karn_variant ~karn_sampling:false in
+  { with_karn_srtt = with_srtt;
+    without_karn_srtt = without_srtt;
+    true_rtt = Vtime.ms 200;
+    with_karn_retransmits = with_rexmt;
+    without_karn_retransmits = without_rexmt }
+
+let table_karn () =
+  let m = karn_sampling () in
+  let show = function
+    | Some t -> Printf.sprintf "%.0f ms" (Vtime.to_ms_f t)
+    | None -> "-"
+  in
+  Report.make ~id:"Ablation A" ~title:"Karn's sampling rule on a lossy link"
+    ~header:[ "Variant"; "final srtt (true RTT 200 ms)"; "retransmissions" ]
+    ~notes:
+      [ "Without Karn's rule, ambiguous samples from retransmitted \
+         segments (measured from their first transmission, so they \
+         include the timeout wait) inflate the estimator." ]
+    [ [ "Karn sampling ON"; show m.with_karn_srtt;
+        string_of_int m.with_karn_retransmits ];
+      [ "Karn sampling OFF"; show m.without_karn_srtt;
+        string_of_int m.without_karn_retransmits ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Global vs. per-segment retry counting                              *)
+(* ------------------------------------------------------------------ *)
+
+type counter_measurement = {
+  global_m2_retries : int;
+  per_segment_m2_retries : int;
+  global_survived : bool;
+  per_segment_survived : bool;
+}
+
+let run_counter_variant ~global_error_counter =
+  let profile =
+    { Profile.solaris_23 with
+      Profile.name = "ablation";
+      Profile.global_error_counter }
+  in
+  let rig = Tcp_rig.make ~profile () in
+  let vconn, _xc = Tcp_rig.connect rig in
+  Pfi_core.Pfi_layer.set_receive_filter rig.Tcp_rig.pfi
+    {|
+if {![info exists count]} { set count 0 }
+incr count
+if {$count == 31} { peer_set delay_next_ack 1 }
+if {$count > 31} {
+  log exp.drop [msg_field cur_msg seq]
+  xDrop cur_msg
+}
+|};
+  Pfi_core.Pfi_layer.set_send_filter rig.Tcp_rig.pfi
+    {|
+if {![info exists delay_next_ack]} { set delay_next_ack 0 }
+if {$delay_next_ack == 1 && [msg_type cur_msg] == "ACK"} {
+  set delay_next_ack 0
+  xDelay cur_msg 35.0
+}
+|};
+  Tcp_rig.feed_vendor rig ~conn:vconn ~chunk:128 ~every:(Vtime.ms 400) ~count:32;
+  Sim.run ~until:(Vtime.hours 1) rig.Tcp_rig.sim;
+  let entries = Tcp_rig.drop_log rig ~tag:"exp.drop" in
+  let m2_retries =
+    match List.sort_uniq compare (List.map fst entries) with
+    | _m1 :: m2 :: _ ->
+      List.length (List.filter (fun (seq, _) -> seq = m2) entries) - 1
+    | _ -> 0
+  in
+  (m2_retries, Tcp.close_reason vconn = None)
+
+let counter_policy () =
+  let global_m2, global_alive = run_counter_variant ~global_error_counter:true in
+  let per_m2, per_alive = run_counter_variant ~global_error_counter:false in
+  { global_m2_retries = global_m2;
+    per_segment_m2_retries = per_m2;
+    global_survived = global_alive;
+    per_segment_survived = per_alive }
+
+let table_counter () =
+  let m = counter_policy () in
+  Report.make ~id:"Ablation B"
+    ~title:"Retry accounting policy in the 35 s delayed-ACK scenario"
+    ~header:[ "Variant"; "m2 retransmissions before death"; "note" ]
+    ~notes:
+      [ "With the global counter, m1's six timeouts are charged against \
+         m2; with per-segment counting m2 gets its full budget of 9." ]
+    [ [ "global error counter (Solaris)"; string_of_int m.global_m2_retries;
+        (if m.global_survived then "survived" else "connection dropped") ];
+      [ "per-segment counter (BSD policy)";
+        string_of_int m.per_segment_m2_retries;
+        (if m.per_segment_survived then "survived" else "connection dropped") ] ]

@@ -1,0 +1,44 @@
+(** Ablation experiments for the design decisions DESIGN.md calls out.
+
+    These are not in the paper; they justify (or quantify) choices the
+    reproduced systems make:
+
+    - {b Karn's sampling rule}: with it, the RTT estimator stays honest
+      on a lossy link; without it, ambiguous samples (retransmitted
+      segments measured from their first transmission) inflate the
+      smoothed RTT and the RTO drifts upward.
+    - {b Global vs. per-segment retry counting}: the Solaris-style
+      global error counter makes timeout credit a connection-wide
+      resource, so a segment can be killed by its predecessor's
+      misfortunes; per-segment counting gives every segment the full
+      retry budget. *)
+
+open Pfi_engine
+
+type karn_measurement = {
+  with_karn_srtt : Vtime.t option;
+  without_karn_srtt : Vtime.t option;
+  true_rtt : Vtime.t;
+  with_karn_retransmits : int;
+  without_karn_retransmits : int;
+}
+
+val karn_sampling : unit -> karn_measurement
+(** Streams segments over a 25%-loss link with and without Karn's
+    sampling rule and compares the final smoothed RTT to the real
+    round-trip time. *)
+
+type counter_measurement = {
+  global_m2_retries : int;  (** retransmissions m2 got before death *)
+  per_segment_m2_retries : int;
+  global_survived : bool;
+  per_segment_survived : bool;
+}
+
+val counter_policy : unit -> counter_measurement
+(** Reruns the 35 s delayed-ACK scenario with the global counter on and
+    off: with it the connection dies after m2's third retransmission;
+    without it m2 gets its full budget. *)
+
+val table_karn : unit -> Report.t
+val table_counter : unit -> Report.t

@@ -1,0 +1,422 @@
+open Pfi_engine
+open Pfi_core
+open Pfi_gmp
+
+let bugs_config flags = { Gmd.default_config with Gmd.bugs = flags }
+
+(* how a node's presence in another daemon's committed views evolved *)
+let presence_transitions history ~member =
+  let presence = List.map (fun v -> List.mem member v.Gmd.members) history in
+  let rec count kicked readmitted = function
+    | a :: (b :: _ as rest) ->
+      let kicked = kicked + if a && not b then 1 else 0 in
+      let readmitted = readmitted + if (not a) && b then 1 else 0 in
+      count kicked readmitted rest
+    | [ _ ] | [] -> (kicked, readmitted)
+  in
+  count 0 0 presence
+
+(* ------------------------------------------------------------------ *)
+(* Table 5, case 1: drop all heartbeats to the local machine          *)
+(* ------------------------------------------------------------------ *)
+
+type self_death_measurement = {
+  self_dead_events : int;
+  marked_down_not_singleton : bool;
+  forwarding_drops : int;
+  formed_singleton : bool;
+}
+
+let drop_self_heartbeats = {|
+if {[msg_type cur_msg] == "HEARTBEAT" && [msg_attr cur_msg net.dst] == $pfi_node} {
+  xDrop cur_msg
+}
+|}
+
+let self_heartbeat_drop ~bugs =
+  let config =
+    bugs_config (if bugs then { Gmd.no_bugs with Gmd.self_death = true } else Gmd.no_bugs)
+  in
+  let rig = Gmp_rig.make ~n:3 ~config () in
+  Gmp_rig.start rig ~stagger:(Vtime.sec 1) ();
+  ignore
+    (Sim.schedule rig.Gmp_rig.sim ~delay:(Vtime.sec 40) (fun () ->
+         Pfi_layer.set_send_filter (rig.Gmp_rig.node "compsun3").Gmp_rig.pfi
+           drop_self_heartbeats));
+  Sim.run ~until:(Vtime.sec 180) rig.Gmp_rig.sim;
+  let victim = (rig.Gmp_rig.node "compsun3").Gmp_rig.gmd in
+  let trace = Sim.trace rig.Gmp_rig.sim in
+  { self_dead_events = Trace.count ~node:"compsun3" ~tag:"gmp.self-dead" trace;
+    marked_down_not_singleton =
+      Gmd.self_marked_down victim && List.length (Gmd.view victim).Gmd.members > 1;
+    forwarding_drops = Trace.count ~node:"compsun3" ~tag:"gmp.fwd-dropped" trace;
+    formed_singleton =
+      (* singletons after the fault was injected (40 s) *)
+      List.exists
+        (fun e -> Vtime.(e.Trace.time > Vtime.sec 40))
+        (Trace.find ~node:"compsun3" ~tag:"gmp.singleton" trace) }
+
+(* ------------------------------------------------------------------ *)
+(* Table 5, case 2: drop heartbeats to the other members              *)
+(* ------------------------------------------------------------------ *)
+
+type kick_cycle_measurement = {
+  kicked : int;
+  readmitted : int;
+}
+
+(* oscillate: ~35 s dropping outgoing heartbeats to others, ~35 s not *)
+let oscillating_drop = {|
+if {[msg_type cur_msg] == "HEARTBEAT" && [msg_attr cur_msg net.dst] != $pfi_node} {
+  set phase [expr {int([now] / 35) % 2}]
+  if {$phase == 1} { xDrop cur_msg }
+}
+|}
+
+let other_heartbeat_drop () =
+  let rig = Gmp_rig.make ~n:3 () in
+  Gmp_rig.start rig ~stagger:(Vtime.sec 1) ();
+  ignore
+    (Sim.schedule rig.Gmp_rig.sim ~delay:(Vtime.sec 20) (fun () ->
+         Pfi_layer.set_send_filter (rig.Gmp_rig.node "compsun3").Gmp_rig.pfi
+           oscillating_drop));
+  Sim.run ~until:(Vtime.sec 400) rig.Gmp_rig.sim;
+  let leader_history = Gmd.view_history (rig.Gmp_rig.node "compsun1").Gmp_rig.gmd in
+  let kicked, readmitted = presence_transitions leader_history ~member:3 in
+  { kicked; readmitted }
+
+(* ------------------------------------------------------------------ *)
+(* Table 5, case 3: drop ACKs of MEMBERSHIP_CHANGE                    *)
+(* ------------------------------------------------------------------ *)
+
+type ack_drop_measurement = {
+  ever_admitted : bool;
+  join_attempts : int;
+}
+
+let drop_acks_from_compsun3 = {|
+if {[msg_type cur_msg] == "ACK" && [msg_attr cur_msg net.src] == "compsun3"} {
+  xDrop cur_msg
+}
+|}
+
+let mc_ack_drop () =
+  let rig = Gmp_rig.make ~n:3 () in
+  (* the group leader's receive filter drops compsun3's ACKs *)
+  Pfi_layer.set_receive_filter (rig.Gmp_rig.node "compsun1").Gmp_rig.pfi
+    drop_acks_from_compsun3;
+  Gmp_rig.start rig ~names:[ "compsun1"; "compsun2" ] ~stagger:(Vtime.sec 1) ();
+  ignore
+    (Sim.schedule rig.Gmp_rig.sim ~delay:(Vtime.sec 30) (fun () ->
+         Gmd.start (rig.Gmp_rig.node "compsun3").Gmp_rig.gmd));
+  Sim.run ~until:(Vtime.sec 300) rig.Gmp_rig.sim;
+  let leader_history = Gmd.view_history (rig.Gmp_rig.node "compsun1").Gmp_rig.gmd in
+  { ever_admitted = List.exists (fun v -> List.mem 3 v.Gmd.members) leader_history;
+    join_attempts =
+      (* each failed attempt ends in a fresh singleton at compsun3 *)
+      Trace.count ~node:"compsun3" ~tag:"gmp.mc-timeout" (Sim.trace rig.Gmp_rig.sim) }
+
+(* ------------------------------------------------------------------ *)
+(* Table 5, case 4: drop COMMITs                                      *)
+(* ------------------------------------------------------------------ *)
+
+type commit_drop_measurement = {
+  briefly_committed_by_others : bool;
+  kicked_after_silence : bool;
+  victim_stuck_then_cycled : bool;
+}
+
+let drop_commits = {|
+if {[msg_type cur_msg] == "COMMIT"} { xDrop cur_msg }
+|}
+
+let commit_drop () =
+  let rig = Gmp_rig.make ~n:3 () in
+  Pfi_layer.set_receive_filter (rig.Gmp_rig.node "compsun3").Gmp_rig.pfi drop_commits;
+  Gmp_rig.start rig ~names:[ "compsun1"; "compsun2" ] ~stagger:(Vtime.sec 1) ();
+  ignore
+    (Sim.schedule rig.Gmp_rig.sim ~delay:(Vtime.sec 30) (fun () ->
+         Gmd.start (rig.Gmp_rig.node "compsun3").Gmp_rig.gmd));
+  Sim.run ~until:(Vtime.sec 300) rig.Gmp_rig.sim;
+  let leader_history = Gmd.view_history (rig.Gmp_rig.node "compsun1").Gmp_rig.gmd in
+  let kicked, readmitted = presence_transitions leader_history ~member:3 in
+  let victim_history = Gmd.view_history (rig.Gmp_rig.node "compsun3").Gmp_rig.gmd in
+  { briefly_committed_by_others = readmitted >= 1 || List.exists (fun v -> List.mem 3 v.Gmd.members) leader_history;
+    kicked_after_silence = kicked >= 1;
+    victim_stuck_then_cycled =
+      (* compsun3 never adopts a multi-member view, and keeps timing out
+         of IN_TRANSITION back to a singleton *)
+      List.for_all (fun v -> v.Gmd.members = [ 3 ]) victim_history
+      && Trace.count ~node:"compsun3" ~tag:"gmp.mc-timeout" (Sim.trace rig.Gmp_rig.sim)
+         >= 1 }
+
+let table5 () =
+  let bug = self_heartbeat_drop ~bugs:true in
+  let fixed = self_heartbeat_drop ~bugs:false in
+  let cycle = other_heartbeat_drop () in
+  let acks = mc_ack_drop () in
+  let commits = commit_drop () in
+  Report.make ~id:"Table 5" ~title:"GMP Packet Interruption"
+    ~header:[ "Test"; "Results"; "Comments" ]
+    [ [ "Drop all heartbeats / suspend gmd";
+        Printf.sprintf
+          "gmd believed it had died (%d self-death events); stayed in the old \
+           group with itself marked down: %b; %d proclaims lost in the broken \
+           forwarding path"
+          bug.self_dead_events bug.marked_down_not_singleton bug.forwarding_drops;
+        Printf.sprintf
+          "bug: implementors should have coded for the local machine dying. \
+           After the fix the daemon forms a singleton and rejoins: %b"
+          fixed.formed_singleton ];
+      [ "Drop most heartbeats";
+        Printf.sprintf
+          "machine dropping outgoing heartbeats was kicked out %d times and \
+           re-admitted %d times (kick/rejoin cycle)"
+          cycle.kicked cycle.readmitted;
+        "behaved as specified" ];
+      [ "Drop ACKs of MEMBERSHIP_CHANGE";
+        Printf.sprintf
+          "the machine whose ACKs were dropped was never admitted to a group \
+           (admitted=%b) across %d join attempts"
+          acks.ever_admitted acks.join_attempts;
+        "behaved as specified" ];
+      [ "Drop COMMITs";
+        Printf.sprintf
+          "everyone else committed it into the view (%b), but it stayed \
+           IN_TRANSITION, sent no heartbeats and was kicked out (%b); it then \
+           cycled via its MEMBERSHIP_CHANGE timer (%b)"
+          commits.briefly_committed_by_others commits.kicked_after_silence
+          commits.victim_stuck_then_cycled;
+        "behaved as specified" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: network partitions                                        *)
+(* ------------------------------------------------------------------ *)
+
+type partition_measurement = {
+  split_views_ok : bool;
+  merged_after_heal : bool;
+  second_split_ok : bool;
+}
+
+(* the paper drops based on destination address in the send filter *)
+let split_filter other_group = Printf.sprintf {|
+if {[bb_get split 0] == 1} {
+  set dst [msg_attr cur_msg net.dst]
+  if {[lsearch {%s} $dst] >= 0} { xDrop cur_msg }
+}
+|} (String.concat " " other_group)
+
+let partition_oscillation () =
+  let rig = Gmp_rig.make ~n:5 () in
+  let group_a = [ "compsun1"; "compsun2"; "compsun3" ] in
+  let group_b = [ "compsun4"; "compsun5" ] in
+  List.iter
+    (fun name ->
+      Pfi_layer.set_send_filter (rig.Gmp_rig.node name).Gmp_rig.pfi
+        (split_filter group_b))
+    group_a;
+  List.iter
+    (fun name ->
+      Pfi_layer.set_send_filter (rig.Gmp_rig.node name).Gmp_rig.pfi
+        (split_filter group_a))
+    group_b;
+  Gmp_rig.start rig ~stagger:(Vtime.sec 1) ();
+  let sim = rig.Gmp_rig.sim in
+  let bb = rig.Gmp_rig.blackboard in
+  let set_split v () = Blackboard.set bb "split" (if v then "1" else "0") in
+  ignore (Sim.schedule sim ~delay:(Vtime.sec 60) (set_split true));
+  ignore (Sim.schedule sim ~delay:(Vtime.sec 160) (set_split false));
+  ignore (Sim.schedule sim ~delay:(Vtime.sec 260) (set_split true));
+  let split_views_ok = ref false in
+  let merged_after_heal = ref false in
+  let second_split_ok = ref false in
+  let views_are ~at target () =
+    ignore at;
+    Gmp_rig.members rig "compsun1" = fst target
+    && Gmp_rig.members rig "compsun4" = snd target
+  in
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.sec 155) (fun () ->
+         split_views_ok := views_are ~at:155 ([ 1; 2; 3 ], [ 4; 5 ]) ()));
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.sec 255) (fun () ->
+         merged_after_heal := views_are ~at:255 ([ 1; 2; 3; 4; 5 ], [ 1; 2; 3; 4; 5 ]) ()));
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.sec 355) (fun () ->
+         second_split_ok := views_are ~at:355 ([ 1; 2; 3 ], [ 4; 5 ]) ()));
+  Sim.run ~until:(Vtime.sec 360) sim;
+  { split_views_ok = !split_views_ok;
+    merged_after_heal = !merged_after_heal;
+    second_split_ok = !second_split_ok }
+
+type separation_measurement = {
+  final_leader_group : int list;
+  crown_prince_isolated : bool;
+}
+
+let block_dst dst = Printf.sprintf {|
+if {[msg_attr cur_msg net.dst] == "%s"} { xDrop cur_msg }
+|} dst
+
+let leader_crown_prince_separation () =
+  let rig = Gmp_rig.make ~n:5 () in
+  Gmp_rig.start rig ~stagger:(Vtime.sec 1) ();
+  let sim = rig.Gmp_rig.sim in
+  (* at t=60 s, the leader and the crown prince stop talking *)
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.sec 60) (fun () ->
+         Pfi_layer.set_send_filter (rig.Gmp_rig.node "compsun1").Gmp_rig.pfi
+           (block_dst "compsun2");
+         Pfi_layer.set_send_filter (rig.Gmp_rig.node "compsun2").Gmp_rig.pfi
+           (block_dst "compsun1")));
+  Sim.run ~until:(Vtime.sec 400) sim;
+  { final_leader_group = Gmp_rig.members rig "compsun1";
+    crown_prince_isolated = Gmp_rig.members rig "compsun2" = [ 2 ] }
+
+let table6 () =
+  let p = partition_oscillation () in
+  let s = leader_crown_prince_separation () in
+  Report.make ~id:"Table 6" ~title:"Network Partition Experiment"
+    ~header:[ "Test"; "Results"; "Comments" ]
+    [ [ "Partition into two groups";
+        Printf.sprintf
+          "two separate but disjoint groups formed ({1,2,3} and {4,5}: %b); \
+           after heartbeats were allowed again a single group formed (%b); \
+           when dropped again the cycle repeated (%b)"
+          p.split_views_ok p.merged_after_heal p.second_split_ok;
+        "behaved as specified" ];
+      [ "Leader/crown-prince separation";
+        Printf.sprintf
+          "end state: the original leader leads [%s]; the crown prince is in \
+           a singleton group by itself: %b"
+          (String.concat "," (List.map string_of_int s.final_leader_group))
+          s.crown_prince_isolated;
+        "two possible event orders, same end state — behaved as specified" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 7: proclaim forwarding                                       *)
+(* ------------------------------------------------------------------ *)
+
+type proclaim_measurement = {
+  forward_count : int;
+  loop_detected : bool;
+  originator_admitted : bool;
+}
+
+let drop_proclaims_to_leader = {|
+if {[msg_type cur_msg] == "PROCLAIM" && [msg_attr cur_msg net.dst] == "compsun1"} {
+  xDrop cur_msg
+}
+|}
+
+let proclaim_forwarding ~bugs =
+  let config =
+    bugs_config
+      (if bugs then { Gmd.no_bugs with Gmd.proclaim_reply_to_sender = true }
+       else Gmd.no_bugs)
+  in
+  let rig = Gmp_rig.make ~n:3 ~config () in
+  Pfi_layer.set_send_filter (rig.Gmp_rig.node "compsun3").Gmp_rig.pfi
+    drop_proclaims_to_leader;
+  Gmp_rig.start rig ~names:[ "compsun1"; "compsun2" ] ~stagger:(Vtime.sec 1) ();
+  ignore
+    (Sim.schedule rig.Gmp_rig.sim ~delay:(Vtime.sec 30) (fun () ->
+         Gmd.start (rig.Gmp_rig.node "compsun3").Gmp_rig.gmd));
+  (* a short horizon: the buggy loop floods messages *)
+  Sim.run ~until:(Vtime.sec (if bugs then 45 else 120)) rig.Gmp_rig.sim;
+  let forwards =
+    Trace.count ~node:"compsun2" ~tag:"gmp.proclaim-fwd" (Sim.trace rig.Gmp_rig.sim)
+  in
+  { forward_count = forwards;
+    loop_detected = forwards > 20;
+    originator_admitted = List.mem 3 (Gmp_rig.members rig "compsun1") }
+
+let table7 () =
+  let bug = proclaim_forwarding ~bugs:true in
+  let fixed = proclaim_forwarding ~bugs:false in
+  Report.make ~id:"Table 7" ~title:"Proclaim Forwarding Experiment"
+    ~header:[ "Test"; "Results"; "Comments" ]
+    [ [ "Proclaim forwarding (buggy)";
+        Printf.sprintf
+          "the leader responded to the forwarder instead of the originator, \
+           creating a proclaim loop (%d forwards in 15 s, loop=%b); the \
+           originator was never admitted (admitted=%b)"
+          bug.forward_count bug.loop_detected bug.originator_admitted;
+        "bug found: reply must go to the proclaim originator" ];
+      [ "Proclaim forwarding (fixed)";
+        Printf.sprintf
+          "the leader responded to the originator; it was admitted to the \
+           group (admitted=%b, %d forwards, loop=%b)"
+          fixed.originator_admitted fixed.forward_count fixed.loop_detected;
+        "the code was fixed" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 8: timer test                                                *)
+(* ------------------------------------------------------------------ *)
+
+type timer_measurement = {
+  spurious_timeouts : int;
+  timers_seen_in_transition : string list;
+}
+
+let second_mc_drop = {|
+set t [msg_type cur_msg]
+if {$t == "MEMBERSHIP_CHANGE"} {
+  set n [expr {[bb_get mc_seen 0] + 1}]
+  bb_set mc_seen $n
+  if {$n >= 2} { bb_set dropping 1 }
+}
+if {[bb_get dropping 0] == 1 && ($t == "COMMIT" || $t == "HEARTBEAT")} {
+  xDrop cur_msg
+}
+|}
+
+let timer_test ~bugs =
+  let config =
+    bugs_config
+      (if bugs then { Gmd.no_bugs with Gmd.timer_unset_inverted = true }
+       else Gmd.no_bugs)
+  in
+  let rig = Gmp_rig.make ~n:3 ~config () in
+  let victim = (rig.Gmp_rig.node "compsun2").Gmp_rig.gmd in
+  Pfi_layer.set_receive_filter (rig.Gmp_rig.node "compsun2").Gmp_rig.pfi
+    second_mc_drop;
+  Gmp_rig.start rig ~names:[ "compsun1"; "compsun2" ] ~stagger:(Vtime.sec 1) ();
+  ignore
+    (Sim.schedule rig.Gmp_rig.sim ~delay:(Vtime.sec 30) (fun () ->
+         Gmd.start (rig.Gmp_rig.node "compsun3").Gmp_rig.gmd));
+  (* sample which timers are armed while the victim is in transition *)
+  let snapshot = ref [] in
+  let rec sample () =
+    if Gmd.phase victim = Gmd.In_transition && !snapshot = [] then
+      snapshot := Gmd.armed_timers victim;
+    ignore (Sim.schedule rig.Gmp_rig.sim ~delay:(Vtime.ms 200) sample)
+  in
+  ignore (Sim.schedule rig.Gmp_rig.sim ~delay:(Vtime.sec 31) (fun () -> sample ()));
+  Sim.run ~until:(Vtime.sec 60) rig.Gmp_rig.sim;
+  { spurious_timeouts =
+      Trace.count ~node:"compsun2" ~tag:"gmp.spurious-timeout"
+        (Sim.trace rig.Gmp_rig.sim);
+    timers_seen_in_transition = !snapshot }
+
+let table8 () =
+  let bug = timer_test ~bugs:true in
+  let fixed = timer_test ~bugs:false in
+  Report.make ~id:"Table 8" ~title:"GMP Timer Test"
+    ~header:[ "Test"; "Results"; "Comments" ]
+    [ [ "Timer test (buggy unregister)";
+        Printf.sprintf
+          "while IN_TRANSITION (only the membership-change timer should be \
+           set) the armed timers were [%s]; the heartbeat-expect timer fired \
+           spuriously %d time(s)"
+          (String.concat " " bug.timers_seen_in_transition)
+          bug.spurious_timeouts;
+        "bug found: the unregister-timeouts routine had its NULL test \
+         inverted" ];
+      [ "Timer test (fixed)";
+        Printf.sprintf
+          "armed timers during IN_TRANSITION: [%s]; spurious timeouts: %d"
+          (String.concat " " fixed.timers_seen_in_transition)
+          fixed.spurious_timeouts;
+        "behaved as specified" ] ]

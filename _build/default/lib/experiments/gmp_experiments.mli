@@ -1,0 +1,85 @@
+(** The paper's GMP experiments (§4.2): Tables 5–8.
+
+    Each measurement function runs a cluster with the relevant fault
+    scripts installed on PFI layers (spliced at the UDP boundary) and
+    returns evidence the test suite checks; the [table*] functions
+    format the paper's tables.  Buggy behaviour is produced by enabling
+    the corresponding {!Pfi_gmp.Gmd.bugs} flag, the "after the fix" rows
+    by leaving it off. *)
+
+(** {1 Table 5 — packet interruption} *)
+
+type self_death_measurement = {
+  self_dead_events : int;  (** > 0 with the bug: "declared itself dead" *)
+  marked_down_not_singleton : bool;  (** the buggy broken state *)
+  forwarding_drops : int;  (** proclaims lost in the broken forwarder *)
+  formed_singleton : bool;  (** the fixed behaviour *)
+}
+
+val self_heartbeat_drop : bugs:bool -> self_death_measurement
+
+type kick_cycle_measurement = {
+  kicked : int;  (** times the faulty node left committed views *)
+  readmitted : int;  (** times it got back in *)
+}
+
+val other_heartbeat_drop : unit -> kick_cycle_measurement
+
+type ack_drop_measurement = {
+  ever_admitted : bool;
+  join_attempts : int;  (** transition→timeout→proclaim cycles observed *)
+}
+
+val mc_ack_drop : unit -> ack_drop_measurement
+
+type commit_drop_measurement = {
+  briefly_committed_by_others : bool;
+  kicked_after_silence : bool;
+  victim_stuck_then_cycled : bool;
+}
+
+val commit_drop : unit -> commit_drop_measurement
+
+val table5 : unit -> Report.t
+
+(** {1 Table 6 — network partitions} *)
+
+type partition_measurement = {
+  split_views_ok : bool;  (** {1,2,3} and {4,5} during the split *)
+  merged_after_heal : bool;
+  second_split_ok : bool;  (** the oscillation repeats *)
+}
+
+val partition_oscillation : unit -> partition_measurement
+
+type separation_measurement = {
+  final_leader_group : int list;  (** expect [1;3;4;5] *)
+  crown_prince_isolated : bool;  (** compsun2 ends up a singleton *)
+}
+
+val leader_crown_prince_separation : unit -> separation_measurement
+
+val table6 : unit -> Report.t
+
+(** {1 Table 7 — proclaim forwarding} *)
+
+type proclaim_measurement = {
+  forward_count : int;
+  loop_detected : bool;
+  originator_admitted : bool;
+}
+
+val proclaim_forwarding : bugs:bool -> proclaim_measurement
+val table7 : unit -> Report.t
+
+(** {1 Table 8 — timer test} *)
+
+type timer_measurement = {
+  spurious_timeouts : int;
+  timers_seen_in_transition : string list;
+      (** armed-timer snapshot while IN_TRANSITION; should be only
+          [mc_wait] *)
+}
+
+val timer_test : bugs:bool -> timer_measurement
+val table8 : unit -> Report.t

@@ -1,0 +1,116 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+
+(* wrap a cell's text to a width, breaking on spaces *)
+let wrap_cell width text =
+  let words = String.split_on_char ' ' text in
+  let lines = ref [] in
+  let current = Buffer.create width in
+  let flush () =
+    if Buffer.length current > 0 then begin
+      lines := Buffer.contents current :: !lines;
+      Buffer.clear current
+    end
+  in
+  List.iter
+    (fun word ->
+      let extra = if Buffer.length current = 0 then 0 else 1 in
+      if Buffer.length current + extra + String.length word > width then flush ();
+      if Buffer.length current > 0 then Buffer.add_char current ' ';
+      Buffer.add_string current word)
+    words;
+  flush ();
+  match List.rev !lines with [] -> [ "" ] | lines -> lines
+
+let column_widths header rows =
+  let ncols = List.length header in
+  let natural = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then natural.(i) <- max natural.(i) (String.length cell))
+        row)
+    (header :: rows);
+  (* cap cells so the table fits ~110 columns; give slack to col 0 *)
+  Array.mapi (fun i w -> if i = 0 then min w 18 else min w 42) natural
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render_row ppf widths cells =
+  let wrapped = List.mapi (fun i cell -> wrap_cell widths.(i) cell) cells in
+  let height = List.fold_left (fun acc l -> max acc (List.length l)) 1 wrapped in
+  for line = 0 to height - 1 do
+    Format.fprintf ppf "|";
+    List.iteri
+      (fun i lines ->
+        let text = match List.nth_opt lines line with Some s -> s | None -> "" in
+        Format.fprintf ppf " %s |" (pad widths.(i) text))
+      wrapped;
+    Format.fprintf ppf "@."
+  done
+
+let separator ppf widths =
+  Format.fprintf ppf "+";
+  Array.iter (fun w -> Format.fprintf ppf "%s+" (String.make (w + 2) '-')) widths;
+  Format.fprintf ppf "@."
+
+let render ppf t =
+  Format.fprintf ppf "@.%s: %s@." t.id t.title;
+  let widths = column_widths t.header t.rows in
+  separator ppf widths;
+  render_row ppf widths t.header;
+  separator ppf widths;
+  List.iter
+    (fun row ->
+      render_row ppf widths row;
+      separator ppf widths)
+    t.rows;
+  List.iter (fun note -> Format.fprintf ppf "  note: %s@." note) t.notes
+
+let to_string t = Format.asprintf "%a" render t
+let print t = render Format.std_formatter t
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type series = {
+  series_label : string;
+  points : (float * float) list;
+}
+
+type figure = {
+  fig_id : string;
+  fig_title : string;
+  x_label : string;
+  y_label : string;
+  series : series list;
+}
+
+let render_figure ppf f =
+  Format.fprintf ppf "@.%s: %s@." f.fig_id f.fig_title;
+  Format.fprintf ppf "  (x = %s, y = %s)@." f.x_label f.y_label;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %s:@." s.series_label;
+      Format.fprintf ppf "    x: %s@."
+        (String.concat " " (List.map (fun (x, _) -> Printf.sprintf "%6.1f" x) s.points));
+      Format.fprintf ppf "    y: %s@."
+        (String.concat " " (List.map (fun (_, y) -> Printf.sprintf "%6.1f" y) s.points));
+      (* coarse log-ish bar rendering of y values *)
+      List.iter
+        (fun (x, y) ->
+          let bar = int_of_float (Float.min 60.0 y) in
+          Format.fprintf ppf "    %6.1f | %s %.1f@." x (String.make (max bar 1) '#') y)
+        s.points)
+    f.series
+
+let print_figure f = render_figure Format.std_formatter f

@@ -1,0 +1,43 @@
+(** Rendering of experiment results as the paper's tables and figures. *)
+
+type t = {
+  id : string;  (** e.g. ["Table 1"] *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string -> title:string -> header:string list ->
+  ?notes:string list -> string list list -> t
+
+val render : Format.formatter -> t -> unit
+(** ASCII table with wrapped cells. *)
+
+val to_string : t -> string
+
+val print : t -> unit
+(** Renders to stdout. *)
+
+(** {1 Figures} *)
+
+type series = {
+  series_label : string;
+  points : (float * float) list;  (** (x, y) *)
+}
+
+type figure = {
+  fig_id : string;
+  fig_title : string;
+  x_label : string;
+  y_label : string;
+  series : series list;
+}
+
+val render_figure : Format.formatter -> figure -> unit
+(** Prints each series as aligned numeric columns plus a coarse ASCII
+    plot — enough to eyeball the exponential-backoff shape the paper's
+    Figure 4 shows. *)
+
+val print_figure : figure -> unit

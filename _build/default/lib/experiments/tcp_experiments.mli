@@ -1,0 +1,83 @@
+(** The paper's TCP experiments (§4.1), one function per artifact.
+
+    Each [*_measure] function runs the simulation and returns raw
+    measurements (used by the test suite to check the reproduced
+    behaviour); each [table*]/[figure4] function formats them as the
+    corresponding paper artifact. *)
+
+open Pfi_engine
+open Pfi_tcp
+
+(** {1 Experiment 1 — retransmission after total drop (Table 1)} *)
+
+type rexmt_measurement = {
+  vendor : string;
+  retransmissions : int;  (** of the dropped segment *)
+  first_interval : Vtime.t option;  (** original → first retransmission *)
+  plateau : Vtime.t option;  (** final (ceiling) interval *)
+  monotonic_backoff : bool;
+  rst_sent : bool;
+  close_reason : string;
+}
+
+val exp1_measure : Profile.t -> rexmt_measurement
+val table1 : unit -> Report.t
+
+(** {1 Experiment 2 — RTO under delayed ACKs (Table 2, Figure 4)} *)
+
+val exp2_measure : delay_sec:float -> Profile.t -> rexmt_measurement
+(** Delays 30 outgoing ACKs by [delay_sec], then drops all incoming
+    packets; measures the retransmission schedule of the stuck
+    segment. *)
+
+val exp2_global_counter : unit -> int * int
+(** The Solaris 35-second-delayed-ACK probe: returns (retransmissions
+    of m1 before its ACK arrived, retransmissions of m2 before the
+    connection died).  Paper: (6, 3). *)
+
+val table2 : unit -> Report.t
+
+val figure4 : unit -> Report.figure
+(** Retransmission-interval series per vendor for the no-delay / 3 s /
+    8 s cases. *)
+
+(** {1 Experiment 3 — keep-alive (Table 3)} *)
+
+type keepalive_measurement = {
+  ka_vendor : string;
+  first_probe_at : Vtime.t option;  (** offset from connection set-up *)
+  probe_count : int;
+  probe_intervals : Vtime.t list;
+  ka_rst_sent : bool;
+  ka_close_reason : string;  (** ["(still open)"] when it survived *)
+}
+
+val exp3_measure : drop_probes:bool -> Profile.t -> keepalive_measurement
+val table3 : unit -> Report.t
+
+(** {1 Experiment 4 — zero-window probing (Table 4)} *)
+
+type zero_window_measurement = {
+  zw_vendor : string;
+  probe_cap : Vtime.t option;  (** interval ceiling reached *)
+  probe_count : int;
+  still_established : bool;
+  probes_after_replug : int;  (** -1 when the unplug variant did not run *)
+}
+
+val exp4_measure :
+  variant:[ `Acked | `Dropped | `Unplug_two_days ] -> Profile.t ->
+  zero_window_measurement
+
+val table4 : unit -> Report.t
+
+(** {1 Experiment 5 — reordering (§4.1, no table)} *)
+
+type reorder_measurement = {
+  ro_vendor : string;
+  delivered_in_order : bool;
+  queued_out_of_order : bool;  (** data was complete despite the swap *)
+}
+
+val exp5_measure : Profile.t -> reorder_measurement
+val exp5_report : unit -> Report.t

@@ -1,0 +1,1 @@
+lib/gmp/gmd.ml: Gmp_msg Hashtbl Layer List Message Pfi_engine Pfi_stack Printf Rel_udp Sim String Timer Vtime

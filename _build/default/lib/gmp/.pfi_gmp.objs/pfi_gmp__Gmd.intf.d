@@ -1,0 +1,1 @@
+lib/gmp/gmd.mli: Pfi_engine Pfi_stack Sim Vtime

@@ -1,0 +1,1 @@
+lib/gmp/gmp_msg.ml: Bytes_codec List Message Pfi_netsim Pfi_stack Printf String

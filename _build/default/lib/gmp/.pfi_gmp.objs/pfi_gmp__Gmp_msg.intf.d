@@ -1,0 +1,1 @@
+lib/gmp/gmp_msg.mli: Bytes Pfi_stack

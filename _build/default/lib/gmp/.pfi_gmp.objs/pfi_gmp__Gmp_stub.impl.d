@@ -1,0 +1,1 @@
+lib/gmp/gmp_stub.ml: Gmp_msg List Message Option Pfi_core Pfi_netsim Pfi_stack Printf Rel_udp String

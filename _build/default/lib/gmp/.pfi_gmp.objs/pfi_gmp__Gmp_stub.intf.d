@@ -1,0 +1,1 @@
+lib/gmp/gmp_stub.mli: Pfi_core

@@ -1,0 +1,1 @@
+lib/gmp/rel_udp.ml: Bytes Bytes_codec Char Hashtbl Layer List Message Option Pfi_engine Pfi_netsim Pfi_stack Printf Sim Timer Vtime

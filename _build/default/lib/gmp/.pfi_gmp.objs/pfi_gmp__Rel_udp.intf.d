@@ -1,0 +1,1 @@
+lib/gmp/rel_udp.mli: Bytes Pfi_engine Pfi_stack Sim Vtime

@@ -1,0 +1,113 @@
+open Pfi_stack
+
+type mtype =
+  | Heartbeat
+  | Proclaim
+  | Join
+  | Membership_change
+  | Mc_ack
+  | Mc_nak
+  | Commit
+  | Dead
+
+type t = {
+  mtype : mtype;
+  origin : int;
+  sender : int;
+  group_id : int;
+  subject : int;
+  members : int list;
+}
+
+let make ~mtype ~origin ~sender ?(group_id = 0) ?(subject = 0) ?(members = []) () =
+  { mtype; origin; sender; group_id; subject; members }
+
+let mtype_to_string = function
+  | Heartbeat -> "HEARTBEAT"
+  | Proclaim -> "PROCLAIM"
+  | Join -> "JOIN"
+  | Membership_change -> "MEMBERSHIP_CHANGE"
+  | Mc_ack -> "ACK"
+  | Mc_nak -> "NAK"
+  | Commit -> "COMMIT"
+  | Dead -> "DEAD"
+
+let mtype_of_string = function
+  | "HEARTBEAT" -> Some Heartbeat
+  | "PROCLAIM" -> Some Proclaim
+  | "JOIN" -> Some Join
+  | "MEMBERSHIP_CHANGE" -> Some Membership_change
+  | "ACK" -> Some Mc_ack
+  | "NAK" -> Some Mc_nak
+  | "COMMIT" -> Some Commit
+  | "DEAD" -> Some Dead
+  | _ -> None
+
+let mtype_code = function
+  | Heartbeat -> 1
+  | Proclaim -> 2
+  | Join -> 3
+  | Membership_change -> 4
+  | Mc_ack -> 5
+  | Mc_nak -> 6
+  | Commit -> 7
+  | Dead -> 8
+
+let mtype_of_code = function
+  | 1 -> Some Heartbeat
+  | 2 -> Some Proclaim
+  | 3 -> Some Join
+  | 4 -> Some Membership_change
+  | 5 -> Some Mc_ack
+  | 6 -> Some Mc_nak
+  | 7 -> Some Commit
+  | 8 -> Some Dead
+  | _ -> None
+
+let encode t =
+  let w = Bytes_codec.writer () in
+  Bytes_codec.u8 w (mtype_code t.mtype);
+  Bytes_codec.u16 w t.origin;
+  Bytes_codec.u16 w t.sender;
+  Bytes_codec.u32_of_int w t.group_id;
+  Bytes_codec.u16 w t.subject;
+  Bytes_codec.u16 w (List.length t.members);
+  List.iter (fun m -> Bytes_codec.u16 w m) t.members;
+  Bytes_codec.contents w
+
+let decode data =
+  match
+    let r = Bytes_codec.reader data in
+    let code = Bytes_codec.read_u8 r in
+    let origin = Bytes_codec.read_u16 r in
+    let sender = Bytes_codec.read_u16 r in
+    let group_id = Bytes_codec.read_u32_int r in
+    let subject = Bytes_codec.read_u16 r in
+    let count = Bytes_codec.read_u16 r in
+    let members = List.init count (fun _ -> Bytes_codec.read_u16 r) in
+    (code, origin, sender, group_id, subject, members)
+  with
+  | exception Bytes_codec.Truncated _ -> Error "gmp: truncated message"
+  | code, origin, sender, group_id, subject, members ->
+    (match mtype_of_code code with
+     | None -> Error (Printf.sprintf "gmp: unknown message type %d" code)
+     | Some mtype -> Ok { mtype; origin; sender; group_id; subject; members })
+
+let to_message t ~dst =
+  let msg = Message.create (encode t) in
+  Message.set_attr msg Pfi_netsim.Network.dst_attr dst;
+  Message.set_attr msg "proto" "gmp";
+  msg
+
+let of_message msg = decode (Message.payload msg)
+
+let describe t =
+  let members =
+    if t.members = [] then ""
+    else
+      Printf.sprintf " members=[%s]"
+        (String.concat "," (List.map string_of_int t.members))
+  in
+  let subject = if t.subject = 0 then "" else Printf.sprintf " subject=%d" t.subject in
+  Printf.sprintf "%s origin=%d sender=%d gid=%d%s%s" (mtype_to_string t.mtype)
+    t.origin t.sender t.group_id subject members

@@ -1,0 +1,101 @@
+open Pfi_stack
+
+let parse msg =
+  match Rel_udp.inspect (Message.payload msg) with
+  | None -> `Malformed
+  | Some (`Ack, seq, _) -> `Rel_ack seq
+  | Some ((`Raw | `Data), _, inner) ->
+    (match Gmp_msg.decode inner with
+     | Ok m -> `Gmp m
+     | Error _ -> `Malformed)
+
+let msg_type msg =
+  match parse msg with
+  | `Rel_ack _ -> "RACK"
+  | `Gmp m -> Gmp_msg.mtype_to_string m.Gmp_msg.mtype
+  | `Malformed -> "?"
+
+let describe msg =
+  match parse msg with
+  | `Rel_ack seq -> Printf.sprintf "RACK seq=%d" seq
+  | `Gmp m -> Gmp_msg.describe m
+  | `Malformed -> "undecodable GMP packet"
+
+let get_field msg field =
+  match parse msg with
+  | `Rel_ack seq -> if field = "relseq" then Some (string_of_int seq) else None
+  | `Malformed -> None
+  | `Gmp m ->
+    (match field with
+     | "origin" -> Some (string_of_int m.Gmp_msg.origin)
+     | "sender" -> Some (string_of_int m.Gmp_msg.sender)
+     | "gid" -> Some (string_of_int m.Gmp_msg.group_id)
+     | "subject" -> Some (string_of_int m.Gmp_msg.subject)
+     | "members" ->
+       Some (String.concat "," (List.map string_of_int m.Gmp_msg.members))
+     | "relseq" ->
+       (match Rel_udp.inspect (Message.payload msg) with
+        | Some (_, seq, _) -> Some (string_of_int seq)
+        | None -> None)
+     | _ -> None)
+
+(* Rewriting fields re-encodes the inner GMP message inside a raw rel
+   wrapper (rewriting reliable-layer state would be incoherent). *)
+let set_field msg field value =
+  match (parse msg, int_of_string_opt value) with
+  | `Gmp m, Some v ->
+    let updated =
+      match field with
+      | "origin" -> Some { m with Gmp_msg.origin = v }
+      | "sender" -> Some { m with Gmp_msg.sender = v }
+      | "gid" -> Some { m with Gmp_msg.group_id = v }
+      | "subject" -> Some { m with Gmp_msg.subject = v }
+      | _ -> None
+    in
+    (match updated with
+     | Some m ->
+       Message.set_payload msg (Rel_udp.wrap_raw (Gmp_msg.encode m));
+       true
+     | None -> false)
+  | _ -> false
+
+let generate args =
+  let int_arg key ~default =
+    match List.assoc_opt key args with
+    | Some v -> (match int_of_string_opt v with Some i -> i | None -> default)
+    | None -> default
+  in
+  match Option.bind (List.assoc_opt "type" args) Gmp_msg.mtype_of_string with
+  | None -> None
+  | Some mtype ->
+    let members =
+      match List.assoc_opt "members" args with
+      | Some s ->
+        String.split_on_char ',' s
+        |> List.filter_map int_of_string_opt
+      | None -> []
+    in
+    let m =
+      Gmp_msg.make ~mtype
+        ~origin:(int_arg "origin" ~default:0)
+        ~sender:(int_arg "sender" ~default:0)
+        ~group_id:(int_arg "gid" ~default:0)
+        ~subject:(int_arg "subject" ~default:0)
+        ~members ()
+    in
+    let msg = Message.create (Rel_udp.wrap_raw (Gmp_msg.encode m)) in
+    Message.set_attr msg "proto" "gmp";
+    (match List.assoc_opt "dst" args with
+     | Some dst -> Message.set_attr msg Pfi_netsim.Network.dst_attr dst
+     | None -> ());
+    Some msg
+
+let stub =
+  { Pfi_core.Stubs.protocol = "gmp";
+    msg_type;
+    describe;
+    get_field;
+    set_field;
+    generate }
+
+let register () = Pfi_core.Stubs.register stub

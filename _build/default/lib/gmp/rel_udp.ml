@@ -1,0 +1,170 @@
+open Pfi_engine
+open Pfi_stack
+
+let header_size = 7
+let reliable_attr = "rel"
+
+let kind_raw = 0
+let kind_data = 1
+let kind_ack = 2
+
+type pending = {
+  seq : int;
+  dst : string;
+  wire : Bytes.t;  (* encoded rel-data packet, ready to resend *)
+  attrs : (string * string) list;
+  timer : Timer.t;
+  mutable tries : int;
+}
+
+type t = {
+  sim : Sim.t;
+  node : string;
+  retry_interval : Vtime.t;
+  max_retries : int;
+  mutable the_layer : Layer.t option;
+  mutable next_seq : int;
+  pending : (int, pending) Hashtbl.t;  (* by seq *)
+  seen : (string * int, unit) Hashtbl.t;  (* dedup of (src, seq) *)
+  mutable gave_up : int;
+}
+
+let layer t = match t.the_layer with Some l -> l | None -> assert false
+
+(* 16-bit ones' complement over kind, seq and payload: the UDP checksum
+   this layer's real-world counterpart would have.  Corrupted packets
+   are dropped at unwrap, so fault-injected bit flips surface as loss,
+   not as garbage protocol input. *)
+let checksum ~kind ~seq payload =
+  let sum = ref (kind + (seq land 0xffff) + ((seq lsr 16) land 0xffff)) in
+  Bytes.iter (fun ch -> sum := !sum + Char.code ch) payload;
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let wrap ~kind ~seq payload =
+  let w = Bytes_codec.writer () in
+  Bytes_codec.u8 w kind;
+  Bytes_codec.u32_of_int w seq;
+  Bytes_codec.u16 w (checksum ~kind ~seq payload);
+  Bytes_codec.bytes w payload;
+  Bytes_codec.contents w
+
+let unwrap data =
+  if Bytes.length data < header_size then None
+  else begin
+    let r = Bytes_codec.reader data in
+    let kind = Bytes_codec.read_u8 r in
+    let seq = Bytes_codec.read_u32_int r in
+    let csum = Bytes_codec.read_u16 r in
+    let payload = Bytes_codec.read_rest r in
+    if checksum ~kind ~seq payload <> csum then None
+    else Some (kind, seq, payload)
+  end
+
+let inspect data =
+  match unwrap data with
+  | None -> None
+  | Some (kind, seq, inner) ->
+    if kind = kind_raw then Some (`Raw, seq, inner)
+    else if kind = kind_data then Some (`Data, seq, inner)
+    else if kind = kind_ack then Some (`Ack, seq, inner)
+    else None
+
+let wrap_raw payload = wrap ~kind:kind_raw ~seq:0 payload
+
+let transmit t ~dst ~attrs wire =
+  let msg = Message.create (Bytes.copy wire) in
+  List.iter (fun (k, v) -> Message.set_attr msg k v) attrs;
+  Message.set_attr msg Pfi_netsim.Network.dst_attr dst;
+  Layer.send_down (layer t) msg
+
+let on_retry t seq () =
+  match Hashtbl.find_opt t.pending seq with
+  | None -> ()
+  | Some p ->
+    if p.tries >= t.max_retries then begin
+      (* best effort exhausted: silently give up, like the original *)
+      Hashtbl.remove t.pending seq;
+      t.gave_up <- t.gave_up + 1;
+      Sim.record t.sim ~node:t.node ~tag:"rel.give-up"
+        (Printf.sprintf "seq=%d dst=%s" p.seq p.dst)
+    end
+    else begin
+      p.tries <- p.tries + 1;
+      transmit t ~dst:p.dst ~attrs:p.attrs p.wire;
+      Timer.arm p.timer ~delay:t.retry_interval
+    end
+
+let on_push t msg =
+  let dst =
+    match Message.get_attr msg Pfi_netsim.Network.dst_attr with
+    | Some d -> d
+    | None -> failwith "rel_udp: message has no destination"
+  in
+  let reliable = Message.get_attr msg reliable_attr = Some "1" in
+  if not reliable then begin
+    Message.set_payload msg (wrap ~kind:kind_raw ~seq:0 (Message.payload msg));
+    Layer.send_down (layer t) msg
+  end
+  else begin
+    t.next_seq <- t.next_seq + 1;
+    let seq = t.next_seq in
+    let wire = wrap ~kind:kind_data ~seq (Message.payload msg) in
+    let attrs = List.remove_assoc Pfi_netsim.Network.dst_attr (Message.attrs msg) in
+    let timer =
+      Timer.create t.sim ~name:(Printf.sprintf "rel-%d" seq)
+        ~callback:(fun () -> on_retry t seq ())
+    in
+    let p = { seq; dst; wire; attrs; timer; tries = 0 } in
+    Hashtbl.replace t.pending seq p;
+    transmit t ~dst ~attrs wire;
+    Timer.arm timer ~delay:t.retry_interval
+  end
+
+let on_pop t msg =
+  match unwrap (Message.payload msg) with
+  | None -> ()  (* malformed: drop *)
+  | Some (kind, seq, inner) ->
+    let src =
+      Option.value (Message.get_attr msg Pfi_netsim.Network.src_attr) ~default:"?"
+    in
+    if kind = kind_raw then begin
+      Message.set_payload msg inner;
+      Layer.deliver_up (layer t) msg
+    end
+    else if kind = kind_ack then begin
+      match Hashtbl.find_opt t.pending seq with
+      | Some p ->
+        Timer.disarm p.timer;
+        Hashtbl.remove t.pending seq
+      | None -> ()
+    end
+    else if kind = kind_data then begin
+      (* always (re-)acknowledge, deliver only the first copy *)
+      let ack = Message.create (wrap ~kind:kind_ack ~seq Bytes.empty) in
+      Message.set_attr ack Pfi_netsim.Network.dst_attr src;
+      Layer.send_down (layer t) ack;
+      if not (Hashtbl.mem t.seen (src, seq)) then begin
+        Hashtbl.replace t.seen (src, seq) ();
+        Message.set_payload msg inner;
+        Layer.deliver_up (layer t) msg
+      end
+    end
+
+let create ~sim ~node ?(retry_interval = Vtime.ms 500) ?(max_retries = 3) () =
+  let t =
+    { sim; node; retry_interval; max_retries; the_layer = None; next_seq = 0;
+      pending = Hashtbl.create 32; seen = Hashtbl.create 256; gave_up = 0 }
+  in
+  let l =
+    Layer.create ~name:"rel-udp" ~node
+      { on_push = (fun _ msg -> on_push t msg);
+        on_pop = (fun _ msg -> on_pop t msg) }
+  in
+  t.the_layer <- Some l;
+  t
+
+let pending_count t = Hashtbl.length t.pending
+let give_up_count t = t.gave_up

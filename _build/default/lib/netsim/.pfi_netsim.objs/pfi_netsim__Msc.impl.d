@@ -1,0 +1,1 @@
+lib/netsim/msc.ml: Format List Option Pfi_engine Printf String Trace Vtime

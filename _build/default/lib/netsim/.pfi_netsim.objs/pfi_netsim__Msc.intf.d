@@ -1,0 +1,1 @@
+lib/netsim/msc.mli: Format Pfi_engine

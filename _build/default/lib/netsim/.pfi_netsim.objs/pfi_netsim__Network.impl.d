@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Hashtbl Int64 Layer List Message Pfi_engine Pfi_stack Printf Rng Sim String Vtime

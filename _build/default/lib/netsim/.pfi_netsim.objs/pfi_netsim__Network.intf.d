@@ -1,0 +1,1 @@
+lib/netsim/network.mli: Pfi_engine Pfi_stack

@@ -1,0 +1,178 @@
+open Pfi_engine
+open Pfi_stack
+
+let dst_attr = "net.dst"
+let src_attr = "net.src"
+let broadcast = "*"
+
+type link_key = string * string
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  devices : (string, Layer.t) Hashtbl.t;
+  mutable default_latency : Vtime.t;
+  latencies : (link_key, Vtime.t) Hashtbl.t;
+  jitters : (link_key, Vtime.t) Hashtbl.t;
+  losses : (link_key, float) Hashtbl.t;
+  blocked : (link_key, unit) Hashtbl.t;
+  mutable groups : string list list option;  (* current partition *)
+  unplugged : (string, unit) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable trace_enabled : bool;
+  mutable msc_enabled : bool;
+}
+
+let create ?(default_latency = Vtime.ms 1) sim =
+  { sim;
+    rng = Rng.split (Sim.rng sim);
+    devices = Hashtbl.create 16;
+    default_latency;
+    latencies = Hashtbl.create 16;
+    jitters = Hashtbl.create 16;
+    losses = Hashtbl.create 16;
+    blocked = Hashtbl.create 16;
+    groups = None;
+    unplugged = Hashtbl.create 8;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    trace_enabled = false;
+    msc_enabled = false }
+
+let sim t = t.sim
+
+let nodes t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.devices [])
+
+let set_default_latency t l = t.default_latency <- l
+let set_latency t ~src ~dst l = Hashtbl.replace t.latencies (src, dst) l
+let set_jitter t ~src ~dst span = Hashtbl.replace t.jitters (src, dst) span
+let set_loss t ~src ~dst rate = Hashtbl.replace t.losses (src, dst) rate
+let block t ~src ~dst = Hashtbl.replace t.blocked (src, dst) ()
+let unblock t ~src ~dst = Hashtbl.remove t.blocked (src, dst)
+let partition t groups = t.groups <- Some groups
+let heal t = t.groups <- None
+let unplug t node = Hashtbl.replace t.unplugged node ()
+let replug t node = Hashtbl.remove t.unplugged node
+let is_unplugged t node = Hashtbl.mem t.unplugged node
+
+let sent_count t = t.sent
+let delivered_count t = t.delivered
+let dropped_count t = t.dropped
+let set_trace_enabled t flag = t.trace_enabled <- flag
+let set_msc_enabled t flag = t.msc_enabled <- flag
+
+let trace t ~node ~tag detail =
+  if t.trace_enabled then Sim.record t.sim ~node ~tag detail
+
+(* one entry per transmission, carrying everything the MSC renderer
+   needs (see Msc.parse_entry for the format) *)
+let msc_record t ~src ~dst ~arrival msg =
+  if t.msc_enabled then begin
+    let label =
+      match Message.get_attr msg "msc.label" with
+      | Some l -> l
+      | None -> Printf.sprintf "len=%d" (Message.length msg)
+    in
+    let arrival =
+      match arrival with
+      | Some time -> Int64.to_string (Vtime.to_us time)
+      | None -> "-"
+    in
+    Sim.record t.sim ~node:src ~tag:"msc"
+      (Printf.sprintf "dst=%s arrival=%s | %s" dst arrival label)
+  end
+
+let same_group t src dst =
+  match t.groups with
+  | None -> true
+  | Some groups ->
+    let find node =
+      let rec go i = function
+        | [] -> -1  (* unlisted nodes form the implicit group -1 *)
+        | g :: rest -> if List.mem node g then i else go (i + 1) rest
+      in
+      go 0 groups
+    in
+    find src = find dst
+
+let latency t ~src ~dst =
+  let base =
+    match Hashtbl.find_opt t.latencies (src, dst) with
+    | Some l -> l
+    | None -> t.default_latency
+  in
+  match Hashtbl.find_opt t.jitters (src, dst) with
+  | None -> base
+  | Some span ->
+    let j = Rng.float t.rng (Vtime.to_sec_f span) in
+    Vtime.add base (Vtime.of_sec_f j)
+
+let drop t ~src ~dst msg reason =
+  t.dropped <- t.dropped + 1;
+  msc_record t ~src ~dst ~arrival:None msg;
+  trace t ~node:src ~tag:"net.drop"
+    (Printf.sprintf "to=%s reason=%s %s" dst reason (Message.hex ~max_bytes:8 msg))
+
+(* Transmit one copy of [msg] from [src] to the single node [dst]. *)
+let transmit t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  trace t ~node:src ~tag:"net.send"
+    (Printf.sprintf "to=%s len=%d" dst (Message.length msg));
+  if Hashtbl.mem t.unplugged src then drop t ~src ~dst msg "src-unplugged"
+  else if Hashtbl.mem t.unplugged dst then drop t ~src ~dst msg "dst-unplugged"
+  else if Hashtbl.mem t.blocked (src, dst) then drop t ~src ~dst msg "blocked"
+  else if not (same_group t src dst) then drop t ~src ~dst msg "partitioned"
+  else begin
+    let lossy =
+      match Hashtbl.find_opt t.losses (src, dst) with
+      | Some rate -> Rng.bernoulli t.rng ~p:rate
+      | None -> false
+    in
+    if lossy then drop t ~src ~dst msg "loss"
+    else
+      match Hashtbl.find_opt t.devices dst with
+      | None -> drop t ~src ~dst msg "no-such-node"
+      | Some device ->
+        let delay = latency t ~src ~dst in
+        msc_record t ~src ~dst ~arrival:(Some (Vtime.add (Sim.now t.sim) delay)) msg;
+        ignore
+          (Sim.schedule t.sim ~delay (fun () ->
+               (* the destination may have been unplugged in flight *)
+               if Hashtbl.mem t.unplugged dst then
+                 drop t ~src ~dst msg "dst-unplugged"
+               else begin
+                 t.delivered <- t.delivered + 1;
+                 Message.set_attr msg src_attr src;
+                 trace t ~node:dst ~tag:"net.deliver"
+                   (Printf.sprintf "from=%s len=%d" src (Message.length msg));
+                 Layer.deliver_up device msg
+               end))
+  end
+
+let attach t ~node =
+  if Hashtbl.mem t.devices node then
+    failwith (Printf.sprintf "network: node %s already attached" node);
+  let device =
+    Layer.create ~name:"device" ~node
+      { on_push =
+          (fun _ msg ->
+            let dst =
+              match Message.get_attr msg dst_attr with
+              | Some d -> d
+              | None -> failwith "network: message has no net.dst attribute"
+            in
+            if String.equal dst broadcast then
+              List.iter
+                (fun peer ->
+                  if not (String.equal peer node) then
+                    transmit t ~src:node ~dst:peer (Message.copy msg))
+                (nodes t)
+            else transmit t ~src:node ~dst msg);
+        on_pop = (fun _ _ -> failwith "network device layer: nothing below") }
+  in
+  Hashtbl.replace t.devices node device;
+  device

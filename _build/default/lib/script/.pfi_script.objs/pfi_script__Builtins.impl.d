@@ -1,0 +1,1 @@
+lib/script/builtins.ml: Buffer Char Expr Interp List Option Printf Scanf String Tcl_list

@@ -1,0 +1,1 @@
+lib/script/expr.ml: Float Format List Printf String

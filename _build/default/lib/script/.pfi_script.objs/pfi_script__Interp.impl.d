@@ -1,0 +1,1 @@
+lib/script/interp.ml: Ast Buffer Expr Format Hashtbl List Parser Tcl_list

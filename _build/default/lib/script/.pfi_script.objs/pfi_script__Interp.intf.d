@@ -1,0 +1,1 @@
+lib/script/interp.mli: Ast Expr Format

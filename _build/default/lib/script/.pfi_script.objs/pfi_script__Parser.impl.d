@@ -1,0 +1,1 @@
+lib/script/parser.ml: Ast Buffer Format List String

@@ -1,0 +1,1 @@
+lib/script/script.ml: Buffer Builtins Interp

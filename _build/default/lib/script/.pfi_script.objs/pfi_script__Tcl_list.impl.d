@@ -1,0 +1,1 @@
+lib/script/tcl_list.ml: Buffer List Parser String

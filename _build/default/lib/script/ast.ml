@@ -1,0 +1,19 @@
+(** Parsed form of a script.
+
+    Following Tcl, parsing only splits a script into commands and words and
+    records where substitution must happen; all values remain strings until
+    evaluation.  A [Braced] word suppresses substitution entirely, which is
+    how control-flow bodies (and the paper's filter scripts) are quoted. *)
+
+type token =
+  | Lit of string      (** literal text *)
+  | Var_ref of string  (** [$name] or [${name}] *)
+  | Cmd_sub of string  (** [\[script\]], evaluated at substitution time *)
+
+type word =
+  | Braced of string   (** [{...}]: taken verbatim *)
+  | Tokens of token list  (** bare or quoted word: tokens concatenate *)
+
+type command = word list
+
+type script = command list

@@ -1,0 +1,136 @@
+let is_space ch = ch = ' ' || ch = '\t' || ch = '\n' || ch = '\r'
+
+let to_list src =
+  let n = String.length src in
+  let elements = ref [] in
+  let pos = ref 0 in
+  let fail msg = raise (Parser.Parse_error msg) in
+  let scan_braced () =
+    (* cursor past the opening brace *)
+    let start = !pos in
+    let rec loop depth =
+      if !pos >= n then fail "unbalanced braces in list"
+      else begin
+        let ch = src.[!pos] in
+        incr pos;
+        match ch with
+        | '\\' -> if !pos < n then incr pos; loop depth
+        | '{' -> loop (depth + 1)
+        | '}' ->
+          if depth = 0 then String.sub src start (!pos - start - 1)
+          else loop (depth - 1)
+        | _ -> loop depth
+      end
+    in
+    loop 0
+  in
+  let scan_quoted () =
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unbalanced quotes in list"
+      else begin
+        let ch = src.[!pos] in
+        incr pos;
+        match ch with
+        | '"' -> Buffer.contents buf
+        | '\\' when !pos < n ->
+          Buffer.add_char buf src.[!pos];
+          incr pos;
+          loop ()
+        | ch -> Buffer.add_char buf ch; loop ()
+      end
+    in
+    loop ()
+  in
+  let scan_bare () =
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos < n && not (is_space src.[!pos]) then begin
+        let ch = src.[!pos] in
+        incr pos;
+        if ch = '\\' && !pos < n then begin
+          Buffer.add_char buf src.[!pos];
+          incr pos
+        end
+        else Buffer.add_char buf ch;
+        loop ()
+      end
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let rec loop () =
+    while !pos < n && is_space src.[!pos] do incr pos done;
+    if !pos < n then begin
+      let element =
+        match src.[!pos] with
+        | '{' -> incr pos; scan_braced ()
+        | '"' -> incr pos; scan_quoted ()
+        | _ -> scan_bare ()
+      in
+      elements := element :: !elements;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !elements
+
+let needs_quoting s =
+  String.length s = 0
+  || String.exists
+       (fun ch ->
+         is_space ch || ch = '{' || ch = '}' || ch = '"' || ch = '\\'
+         || ch = '[' || ch = ']' || ch = '$' || ch = ';')
+       s
+
+let braces_balanced s =
+  let depth = ref 0 in
+  let ok = ref true in
+  String.iter
+    (fun ch ->
+      if ch = '{' then incr depth
+      else if ch = '}' then begin
+        decr depth;
+        if !depth < 0 then ok := false
+      end)
+    s;
+  !ok && !depth = 0
+
+let quote_element s =
+  if not (needs_quoting s) then s
+  else if braces_balanced s && not (String.contains s '\\') then "{" ^ s ^ "}"
+  else begin
+    (* brace-unbalanced content falls back to backslash escaping *)
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun ch ->
+        (match ch with
+         | '{' | '}' | '\\' | '"' | '[' | ']' | '$' | ';' | ' ' | '\t' ->
+           Buffer.add_char buf '\\'
+         | '\n' | '\r' -> Buffer.add_char buf '\\'
+         | _ -> ());
+        Buffer.add_char buf ch)
+      s;
+    Buffer.contents buf
+  end
+
+let of_list elements = String.concat " " (List.map quote_element elements)
+
+let index src i =
+  let l = to_list src in
+  List.nth_opt l i
+
+let length src = List.length (to_list src)
+
+let append src element =
+  let quoted = quote_element element in
+  if String.length src = 0 then quoted else src ^ " " ^ quoted
+
+let range src first last =
+  let l = to_list src in
+  let n = List.length l in
+  let first = max 0 first in
+  let last = min (n - 1) last in
+  if first > last then ""
+  else
+    of_list (List.filteri (fun i _ -> i >= first && i <= last) l)

@@ -1,0 +1,1 @@
+lib/stack/bytes_codec.ml: Buffer Bytes Char Int32

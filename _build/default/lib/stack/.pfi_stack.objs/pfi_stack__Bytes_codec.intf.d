@@ -1,0 +1,1 @@
+lib/stack/bytes_codec.mli: Bytes

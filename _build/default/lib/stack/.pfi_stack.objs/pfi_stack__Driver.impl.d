@@ -1,0 +1,1 @@
+lib/stack/driver.ml: Layer List Message

@@ -1,0 +1,1 @@
+lib/stack/driver.mli: Layer Message

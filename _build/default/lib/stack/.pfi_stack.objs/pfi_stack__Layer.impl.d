@@ -1,0 +1,1 @@
+lib/stack/layer.ml: Message Printf

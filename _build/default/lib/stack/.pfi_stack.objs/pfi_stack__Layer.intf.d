@@ -1,0 +1,1 @@
+lib/stack/layer.mli: Message

@@ -1,0 +1,1 @@
+lib/stack/message.ml: Buffer Bytes Bytes_codec Char Format List Printf

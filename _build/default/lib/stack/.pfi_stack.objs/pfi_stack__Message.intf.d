@@ -1,0 +1,1 @@
+lib/stack/message.mli: Bytes Format

@@ -1,0 +1,75 @@
+type t = {
+  id : int;
+  mutable payload : Bytes.t;
+  mutable attrs : (string * string) list;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let create ?(attrs = []) payload = { id = fresh_id (); payload; attrs }
+
+let of_string s = create (Bytes.of_string s)
+
+let id t = t.id
+let payload t = t.payload
+let set_payload t b = t.payload <- b
+let length t = Bytes.length t.payload
+let to_string t = Bytes.to_string t.payload
+
+let push_header t header =
+  let combined = Bytes.create (Bytes.length header + Bytes.length t.payload) in
+  Bytes.blit header 0 combined 0 (Bytes.length header);
+  Bytes.blit t.payload 0 combined (Bytes.length header) (Bytes.length t.payload);
+  t.payload <- combined
+
+let pop_header t n =
+  if n > Bytes.length t.payload then raise (Bytes_codec.Truncated "pop_header");
+  let header = Bytes.sub t.payload 0 n in
+  t.payload <- Bytes.sub t.payload n (Bytes.length t.payload - n);
+  header
+
+let peek t n =
+  let n = min n (Bytes.length t.payload) in
+  Bytes.sub t.payload 0 n
+
+let get_attr t key = List.assoc_opt key t.attrs
+
+let set_attr t key value =
+  t.attrs <- (key, value) :: List.remove_assoc key t.attrs
+
+let remove_attr t key = t.attrs <- List.remove_assoc key t.attrs
+
+let attrs t = t.attrs
+
+let copy t = { id = fresh_id (); payload = Bytes.copy t.payload; attrs = t.attrs }
+
+let corrupt_byte t ~offset =
+  if offset >= 0 && offset < Bytes.length t.payload then begin
+    let b = Char.code (Bytes.get t.payload offset) in
+    Bytes.set t.payload offset (Char.chr (lnot b land 0xff))
+  end;
+  t
+
+let xor_byte t ~offset ~mask =
+  if offset >= 0 && offset < Bytes.length t.payload then begin
+    let b = Char.code (Bytes.get t.payload offset) in
+    Bytes.set t.payload offset (Char.chr ((b lxor mask) land 0xff))
+  end;
+  t
+
+let hex ?(max_bytes = 32) t =
+  let n = min max_bytes (Bytes.length t.payload) in
+  let buf = Buffer.create (n * 3) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Printf.sprintf "%02x" (Char.code (Bytes.get t.payload i)))
+  done;
+  if Bytes.length t.payload > n then Buffer.add_string buf " ...";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "msg#%d[%dB] %s" t.id (Bytes.length t.payload) (hex ~max_bytes:16 t)

@@ -1,0 +1,1 @@
+lib/tcp/ip_lite.ml: Bytes Bytes_codec Layer Message Pfi_netsim Pfi_stack String

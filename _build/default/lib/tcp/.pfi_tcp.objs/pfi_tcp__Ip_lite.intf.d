@@ -1,0 +1,1 @@
+lib/tcp/ip_lite.mli: Bytes Pfi_stack

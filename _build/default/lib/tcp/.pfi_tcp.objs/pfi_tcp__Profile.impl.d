@@ -1,0 +1,1 @@
+lib/tcp/profile.ml: List Pfi_engine String Vtime

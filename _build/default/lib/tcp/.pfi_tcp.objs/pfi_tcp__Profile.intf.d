@@ -1,0 +1,1 @@
+lib/tcp/profile.mli: Pfi_engine Vtime

@@ -1,0 +1,1 @@
+lib/tcp/segment.ml: Bytes Bytes_codec Char Format Message Pfi_netsim Pfi_stack Printf Seq32

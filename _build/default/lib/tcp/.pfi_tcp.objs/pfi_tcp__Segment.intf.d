@@ -1,0 +1,1 @@
+lib/tcp/segment.mli: Bytes Format Pfi_stack Seq32

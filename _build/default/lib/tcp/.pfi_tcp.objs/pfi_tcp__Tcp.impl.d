@@ -1,0 +1,1 @@
+lib/tcp/tcp.ml: Bytes Float Hashtbl Int64 Layer List Message Pfi_engine Pfi_netsim Pfi_stack Printf Profile Segment Seq32 Sim String Timer Vtime

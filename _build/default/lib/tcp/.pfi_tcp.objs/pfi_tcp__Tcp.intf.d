@@ -1,0 +1,1 @@
+lib/tcp/tcp.mli: Pfi_engine Pfi_stack Profile Sim Vtime

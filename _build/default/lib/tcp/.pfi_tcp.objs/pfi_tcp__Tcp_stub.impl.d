@@ -1,0 +1,1 @@
+lib/tcp/tcp_stub.ml: Bytes List Message Pfi_core Pfi_netsim Pfi_stack Segment Seq32 String

@@ -1,0 +1,1 @@
+lib/tcp/tcp_stub.mli: Pfi_core

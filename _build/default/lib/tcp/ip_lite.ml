@@ -1,0 +1,60 @@
+open Pfi_stack
+
+(* Fixed-size header: 1 byte version, 1 byte ttl, 2 bytes reserved,
+   16 bytes source node name, 16 bytes destination node name. *)
+let name_size = 16
+let header_size = 4 + (2 * name_size)
+let initial_ttl = 32
+
+let pad_name name =
+  let b = Bytes.make name_size '\000' in
+  let n = min name_size (String.length name) in
+  Bytes.blit_string name 0 b 0 n;
+  b
+
+let unpad_name b =
+  let rec len i = if i < Bytes.length b && Bytes.get b i <> '\000' then len (i + 1) else i in
+  Bytes.sub_string b 0 (len 0)
+
+let encode_header ~src ~dst ~ttl =
+  let w = Bytes_codec.writer () in
+  Bytes_codec.u8 w 4;
+  Bytes_codec.u8 w ttl;
+  Bytes_codec.u16 w 0;
+  Bytes_codec.bytes w (pad_name src);
+  Bytes_codec.bytes w (pad_name dst);
+  Bytes_codec.contents w
+
+let decode_header data =
+  if Bytes.length data < header_size then Error "ip: header too short"
+  else begin
+    let r = Bytes_codec.reader data in
+    let version = Bytes_codec.read_u8 r in
+    let ttl = Bytes_codec.read_u8 r in
+    let _reserved = Bytes_codec.read_u16 r in
+    let src = unpad_name (Bytes_codec.read_bytes r name_size) in
+    let dst = unpad_name (Bytes_codec.read_bytes r name_size) in
+    if version <> 4 then Error "ip: bad version" else Ok (src, dst, ttl)
+  end
+
+let create ~node =
+  Layer.create ~name:"ip" ~node
+    { on_push =
+        (fun layer msg ->
+          let dst =
+            match Message.get_attr msg Pfi_netsim.Network.dst_attr with
+            | Some d -> d
+            | None -> failwith "ip: message has no destination"
+          in
+          Message.push_header msg (encode_header ~src:node ~dst ~ttl:initial_ttl);
+          Layer.send_down layer msg);
+      on_pop =
+        (fun layer msg ->
+          let header = Message.pop_header msg header_size in
+          match decode_header header with
+          | Error _ -> ()  (* malformed: drop silently, like a router would *)
+          | Ok (src, dst, ttl) ->
+            if ttl > 0 && (String.equal dst node || String.equal dst "*") then begin
+              Message.set_attr msg Pfi_netsim.Network.src_attr src;
+              Layer.deliver_up layer msg
+            end) }

@@ -1,0 +1,18 @@
+(** Minimal IP-style network layer.
+
+    In the paper's x-Kernel stack the PFI layer sits between TCP and IP;
+    this layer reproduces that boundary.  On the way down it wraps the
+    segment in a small header carrying source/destination node names and
+    a TTL; on the way up it strips the header, discards packets not
+    addressed to this node, and drops packets whose TTL is exhausted.
+    The PFI layer spliced {e above} it therefore sees bare TCP segments,
+    exactly as in Figure 3 of the paper. *)
+
+val header_size : int
+
+val create : node:string -> Pfi_stack.Layer.t
+(** The downward path requires the message to carry the
+    {!Pfi_netsim.Network.dst_attr} attribute. *)
+
+val decode_header : Bytes.t -> (string * string * int, string) result
+(** [(src, dst, ttl)] from an encoded header. *)

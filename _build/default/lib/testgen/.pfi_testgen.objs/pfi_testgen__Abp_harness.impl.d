@@ -1,0 +1,1 @@
+lib/testgen/abp_harness.ml: Campaign Layer List Network Pfi_abp Pfi_core Pfi_engine Pfi_netsim Pfi_stack Printf Sim Spec Vtime

@@ -1,0 +1,1 @@
+lib/testgen/abp_harness.mli: Campaign Pfi_engine

@@ -1,0 +1,1 @@
+lib/testgen/campaign.ml: Buffer Generator List Pfi_core Pfi_engine Printf Sim Trace

@@ -1,0 +1,1 @@
+lib/testgen/campaign.mli: Generator Pfi_core Pfi_engine Sim Spec Vtime

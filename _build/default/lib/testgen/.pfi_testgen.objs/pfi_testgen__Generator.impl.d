@@ -1,0 +1,1 @@
+lib/testgen/generator.ml: List Printf Spec String

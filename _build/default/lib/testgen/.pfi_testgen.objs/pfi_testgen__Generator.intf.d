@@ -1,0 +1,1 @@
+lib/testgen/generator.mli: Spec

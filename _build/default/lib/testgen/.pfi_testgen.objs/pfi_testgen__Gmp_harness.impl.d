@@ -1,0 +1,1 @@
+lib/testgen/gmp_harness.ml: Campaign Gmd Gmp_stub Layer List Network Option Pfi_core Pfi_engine Pfi_gmp Pfi_netsim Pfi_stack Printf Rel_udp Sim Spec String Trace Vtime

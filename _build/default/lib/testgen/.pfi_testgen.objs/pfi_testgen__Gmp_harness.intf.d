@@ -1,0 +1,1 @@
+lib/testgen/gmp_harness.mli: Campaign Pfi_engine Pfi_gmp

@@ -1,0 +1,67 @@
+open Pfi_engine
+open Pfi_stack
+open Pfi_netsim
+
+type env = {
+  sim : Sim.t;
+  pfi : Pfi_core.Pfi_layer.t;
+  sender : Pfi_abp.Abp.t;
+  receiver : Pfi_abp.Abp.t;
+  expected : string list;
+}
+
+let default_horizon = Vtime.sec 120
+
+let harness ?(message_count = 20) ?(bug_ignore_ack_bit = false) ?(seed = 31L) () =
+  let build () =
+    let sim = Sim.create ~seed () in
+    let net = Network.create sim in
+    let sender =
+      Pfi_abp.Abp.create ~sim ~node:"alice" ~peer:"bob" ~bug_ignore_ack_bit ()
+    in
+    let pfi =
+      Pfi_core.Pfi_layer.create ~sim ~node:"alice" ~stub:Pfi_abp.Abp.stub ()
+    in
+    let dev_a = Network.attach net ~node:"alice" in
+    Layer.stack
+      [ Pfi_abp.Abp.layer sender; Pfi_core.Pfi_layer.layer pfi; dev_a ];
+    let receiver =
+      Pfi_abp.Abp.create ~sim ~node:"bob" ~peer:"alice" ~bug_ignore_ack_bit ()
+    in
+    let dev_b = Network.attach net ~node:"bob" in
+    Layer.stack [ Pfi_abp.Abp.layer receiver; dev_b ];
+    let expected = List.init message_count (Printf.sprintf "msg-%02d") in
+    { sim; pfi; sender; receiver; expected }
+  in
+  let workload env =
+    List.iteri
+      (fun i text ->
+        ignore
+          (Sim.schedule env.sim ~delay:(Vtime.sec i) (fun () ->
+               Pfi_abp.Abp.send env.sender text)))
+      env.expected
+  in
+  let check env =
+    let got = Pfi_abp.Abp.delivered env.receiver in
+    if got <> env.expected then
+      Error
+        (Printf.sprintf "delivered %d/%d messages%s" (List.length got)
+           (List.length env.expected)
+           (if List.length got = List.length env.expected then " (wrong order/content)"
+            else ""))
+    else if Pfi_abp.Abp.unacked env.sender > 0 then
+      Error
+        (Printf.sprintf "%d messages never acknowledged"
+           (Pfi_abp.Abp.unacked env.sender))
+    else Ok ()
+  in
+  { Campaign.build;
+    Campaign.sim = (fun env -> env.sim);
+    Campaign.pfi = (fun env -> env.pfi);
+    Campaign.workload;
+    Campaign.check }
+
+let run_campaign ?bug_ignore_ack_bit () =
+  Campaign.run
+    (harness ?bug_ignore_ack_bit ())
+    ~spec:Spec.abp ~horizon:default_horizon ~target:"bob" ()

@@ -1,0 +1,22 @@
+(** A ready-made campaign harness for the alternating-bit protocol.
+
+    Topology: [alice] (sender, with the PFI layer under her ABP
+    endpoint) and [bob] (receiver).  Workload: [message_count]
+    application messages, one per second.  Oracle: bob delivered
+    exactly the sent sequence, in order, with no duplicates, and alice
+    has nothing left unacknowledged. *)
+
+type env
+
+val harness :
+  ?message_count:int -> ?bug_ignore_ack_bit:bool -> ?seed:int64 -> unit ->
+  env Campaign.harness
+
+val default_horizon : Pfi_engine.Vtime.t
+(** Comfortably enough for the workload to finish under every campaign
+    fault (120 s of virtual time). *)
+
+val run_campaign :
+  ?bug_ignore_ack_bit:bool -> unit -> Campaign.outcome list
+(** The full generated campaign against ABP ({!Spec.abp}), both filter
+    sides. *)

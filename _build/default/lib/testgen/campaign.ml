@@ -1,0 +1,93 @@
+open Pfi_engine
+
+type side = Send_filter | Receive_filter | Both_filters
+
+type 'env harness = {
+  build : unit -> 'env;
+  sim : 'env -> Sim.t;
+  pfi : 'env -> Pfi_core.Pfi_layer.t;
+  workload : 'env -> unit;
+  check : 'env -> (unit, string) result;
+}
+
+type verdict =
+  | Tolerated
+  | Violation of string
+
+type outcome = {
+  fault : Generator.fault;
+  side : side;
+  verdict : verdict;
+  injected_events : int;
+}
+
+let side_name = function
+  | Send_filter -> "send"
+  | Receive_filter -> "receive"
+  | Both_filters -> "both"
+
+let run_trial harness ~side ~horizon fault =
+  let env = harness.build () in
+  let pfi = harness.pfi env in
+  let script = Generator.script_of_fault fault in
+  (match side with
+   | Send_filter -> Pfi_core.Pfi_layer.set_send_filter pfi script
+   | Receive_filter -> Pfi_core.Pfi_layer.set_receive_filter pfi script
+   | Both_filters ->
+     Pfi_core.Pfi_layer.set_send_filter pfi script;
+     Pfi_core.Pfi_layer.set_receive_filter pfi script);
+  harness.workload env;
+  let sim = harness.sim env in
+  Sim.run ~until:horizon sim;
+  let injected_events =
+    Trace.count ~tag:"testgen.fault" (Sim.trace sim)
+    + Trace.count ~tag:"pfi.log" (Sim.trace sim)
+  in
+  let verdict =
+    match harness.check env with
+    | Ok () -> Tolerated
+    | Error reason -> Violation reason
+  in
+  { fault; side; verdict; injected_events }
+
+let control_trial harness ~horizon =
+  let env = harness.build () in
+  harness.workload env;
+  Sim.run ~until:horizon (harness.sim env);
+  match harness.check env with
+  | Ok () -> ()
+  | Error reason ->
+    failwith
+      (Printf.sprintf
+         "campaign: the fault-free control trial already violates the oracle \
+          (%s) — harness or protocol is broken"
+         reason)
+
+let run ?(sides = [ Send_filter; Receive_filter; Both_filters ]) harness ~spec ~horizon
+    ?(target = "peer") () =
+  control_trial harness ~horizon;
+  let faults = Generator.campaign ~target spec in
+  List.concat_map
+    (fun side -> List.map (run_trial harness ~side ~horizon) faults)
+    sides
+
+let summary outcomes =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-44s %-8s %-9s %s\n" "fault" "side" "events" "verdict");
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-44s %-8s %-9d %s\n"
+           (Generator.describe o.fault)
+           (side_name o.side) o.injected_events
+           (match o.verdict with
+            | Tolerated -> "tolerated"
+            | Violation reason -> "VIOLATION: " ^ reason)))
+    outcomes;
+  let bad = List.length (List.filter (fun o -> o.verdict <> Tolerated) outcomes) in
+  Buffer.add_string buf
+    (Printf.sprintf "-- %d trials, %d violations\n" (List.length outcomes) bad);
+  Buffer.contents buf
+
+let violations = List.filter (fun o -> o.verdict <> Tolerated)

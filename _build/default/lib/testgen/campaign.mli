@@ -1,0 +1,51 @@
+(** Deterministic fault-injection campaigns.
+
+    A campaign takes a protocol {!Spec.t}, generates the systematic
+    fault set ({!Generator.campaign}), and runs each fault as an
+    isolated trial: a fresh simulated system is built, the generated
+    script is installed on a PFI layer, the workload runs to a horizon,
+    and an oracle checks the protocol's service guarantee.  The result
+    says which faults the implementation tolerates and which ones
+    expose a violation — the paper's "identify specific problems"
+    orientation, as opposed to statistical coverage. *)
+
+open Pfi_engine
+
+type side = Send_filter | Receive_filter | Both_filters
+
+type 'env harness = {
+  build : unit -> 'env;
+      (** fresh system for one trial (new Sim, network, stacks) *)
+  sim : 'env -> Sim.t;
+  pfi : 'env -> Pfi_core.Pfi_layer.t;  (** where generated scripts go *)
+  workload : 'env -> unit;  (** start the driver traffic *)
+  check : 'env -> (unit, string) result;
+      (** service-guarantee oracle, evaluated after the horizon *)
+}
+
+type verdict =
+  | Tolerated
+  | Violation of string
+
+type outcome = {
+  fault : Generator.fault;
+  side : side;
+  verdict : verdict;
+  injected_events : int;  (** [testgen.fault] trace entries *)
+}
+
+val run_trial :
+  'env harness -> side:side -> horizon:Vtime.t -> Generator.fault -> outcome
+
+val run :
+  ?sides:side list -> 'env harness -> spec:Spec.t -> horizon:Vtime.t ->
+  ?target:string -> unit -> outcome list
+(** The whole campaign: every generated fault on every requested side
+    (default: send, receive, and both-at-once), each in a fresh system.  Also runs one fault-free
+    control trial first and raises [Failure] if the oracle rejects it
+    (a broken harness would make every verdict meaningless). *)
+
+val summary : outcome list -> string
+(** Human-readable table of outcomes. *)
+
+val violations : outcome list -> outcome list

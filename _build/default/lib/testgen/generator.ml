@@ -1,0 +1,169 @@
+type fault =
+  | Drop_all of string
+  | Drop_after of string * int
+  | Drop_first of string * int
+  | Drop_fraction of string * float
+  | Omission_all of float
+  | Byzantine_mix of float
+  | Delay_each of string * float
+  | Duplicate of string
+  | Corrupt of string * float
+  | Reorder of string
+  | Inject_spurious of Spec.message * string
+
+let describe = function
+  | Drop_all t -> Printf.sprintf "drop all %s" t
+  | Drop_after (t, n) -> Printf.sprintf "drop %s after %d" t n
+  | Drop_first (t, n) -> Printf.sprintf "drop the first %d %s" n t
+  | Drop_fraction (t, p) -> Printf.sprintf "drop %s with p=%.2f" t p
+  | Omission_all p -> Printf.sprintf "general omission p=%.2f (all types)" p
+  | Byzantine_mix p ->
+    Printf.sprintf "byzantine channel: drop/duplicate p=%.2f each (all types)" p
+  | Delay_each (t, s) -> Printf.sprintf "delay each %s by %.1fs" t s
+  | Duplicate t -> Printf.sprintf "duplicate every %s" t
+  | Corrupt (t, p) -> Printf.sprintf "corrupt %s with p=%.2f" t p
+  | Reorder t -> Printf.sprintf "reorder consecutive %s" t
+  | Inject_spurious (m, dst) ->
+    Printf.sprintf "inject spurious %s toward %s" m.Spec.mtype dst
+
+(* All generated scripts share the type test; everything else hangs off
+   it.  The scripts are deliberately plain — they are meant to be
+   readable in test reports. *)
+let script_of_fault fault =
+  match fault with
+  | Drop_all mtype ->
+    Printf.sprintf {|
+# generated: drop all %s
+if {[msg_type cur_msg] == "%s"} {
+  msg_log cur_msg testgen.fault
+  xDrop cur_msg
+}
+|} mtype mtype
+  | Drop_after (mtype, n) ->
+    Printf.sprintf {|
+# generated: let %d %s through, then drop
+if {[msg_type cur_msg] == "%s"} {
+  if {![info exists n_%s]} { set n_%s 0 }
+  incr n_%s
+  if {$n_%s > %d} {
+    msg_log cur_msg testgen.fault
+    xDrop cur_msg
+  }
+}
+|} n mtype mtype mtype mtype mtype mtype n
+  | Drop_fraction (mtype, p) ->
+    Printf.sprintf {|
+# generated: omission failure on %s
+if {[msg_type cur_msg] == "%s" && [chance %.4f] == 1} {
+  msg_log cur_msg testgen.fault
+  xDrop cur_msg
+}
+|} mtype mtype p
+  | Delay_each (mtype, seconds) ->
+    Printf.sprintf {|
+# generated: timing failure on %s
+if {[msg_type cur_msg] == "%s"} {
+  msg_log cur_msg testgen.fault
+  xDelay cur_msg %.3f
+}
+|} mtype mtype seconds
+  | Duplicate mtype ->
+    Printf.sprintf {|
+# generated: byzantine duplication of %s
+if {[msg_type cur_msg] == "%s"} {
+  msg_log cur_msg testgen.fault
+  xDup cur_msg 1
+}
+|} mtype mtype
+  | Corrupt (mtype, p) ->
+    Printf.sprintf {|
+# generated: byzantine corruption of %s
+if {[msg_type cur_msg] == "%s" && [chance %.4f] == 1} {
+  msg_log cur_msg testgen.fault
+  xCorrupt cur_msg
+}
+|} mtype mtype p
+  | Drop_first (mtype, n) ->
+    Printf.sprintf {|
+# generated: transient outage, the first %d %s frames are lost
+if {[msg_type cur_msg] == "%s"} {
+  if {![info exists d_%s]} { set d_%s 0 }
+  if {$d_%s < %d} {
+    incr d_%s
+    msg_log cur_msg testgen.fault
+    xDrop cur_msg
+  }
+}
+|} n mtype mtype mtype mtype mtype n mtype
+  | Omission_all p ->
+    Printf.sprintf {|
+# generated: general omission across all message types
+if {[chance %.4f] == 1} {
+  msg_log cur_msg testgen.fault
+  xDrop cur_msg
+}
+|} p
+  | Byzantine_mix p ->
+    Printf.sprintf {|
+# generated: arbitrary (byzantine) channel behaviour on all types
+set r [dst_uniform 0.0 1.0]
+if {$r < %.4f} {
+  msg_log cur_msg testgen.fault
+  xDrop cur_msg
+} elseif {$r < %.4f} {
+  msg_log cur_msg testgen.fault
+  xDup cur_msg 1
+}
+|} p (2.0 *. p)
+  | Reorder mtype ->
+    Printf.sprintf {|
+# generated: reorder consecutive %s (hold one, release after the next)
+if {[msg_type cur_msg] == "%s"} {
+  if {[xHeldCount q_%s] == 0} {
+    xHold cur_msg q_%s
+  } else {
+    msg_log cur_msg testgen.fault
+  }
+} else {
+  xRelease q_%s
+}
+|} mtype mtype mtype mtype mtype
+  | Inject_spurious (m, dst) ->
+    let args =
+      String.concat " "
+        (List.map (fun (k, v) -> Printf.sprintf "%s %s" k v) m.Spec.gen_args)
+    in
+    Printf.sprintf {|
+# generated: spurious %s probe
+if {![info exists injected]} { set injected 0 }
+if {$injected < 5} {
+  incr injected
+  set probe [msg_gen %s]
+  msg_set_attr $probe net.dst %s
+  log testgen.fault "spurious %s"
+  inject_down $probe
+}
+|} m.Spec.mtype args dst m.Spec.mtype
+
+(* The systematic set uses faults a correct implementation is expected
+   to tolerate, so any violation points at a defect: transient outages,
+   probabilistic omission/corruption, timing, duplication, reordering,
+   spurious stateless injections, and one whole-vocabulary omission
+   trial. *)
+let campaign ?(target = "peer") spec =
+  let per_type =
+    List.concat_map
+      (fun (m : Spec.message) ->
+        let t = m.Spec.mtype in
+        let base =
+          [ Drop_first (t, 5);
+            Drop_fraction (t, 0.4);
+            Delay_each (t, 1.5);
+            Duplicate t;
+            Corrupt (t, 0.4);
+            Reorder t ]
+        in
+        if m.Spec.stateless then base @ [ Inject_spurious (m, target) ] else base)
+      spec.Spec.messages
+  in
+  per_type @ [ Omission_all 0.3; Byzantine_mix 0.25 ]

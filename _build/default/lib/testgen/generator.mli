@@ -1,0 +1,39 @@
+(** Generation of filter scripts from a protocol specification.
+
+    Each {!fault} describes one deviation to inject; {!script_of_fault}
+    renders it as a filter script in the PFI scripting language, and
+    {!campaign} enumerates a systematic fault set for a specification —
+    every message type crossed with every applicable fault class, in
+    the severity order of the §2.2 failure models. *)
+
+type fault =
+  | Drop_all of string  (** drop every message of the type (link crash) *)
+  | Drop_after of string * int  (** let [n] through, then drop *)
+  | Drop_first of string * int  (** transient outage: lose the first [n] *)
+  | Drop_fraction of string * float  (** probabilistic omission *)
+  | Omission_all of float  (** general omission across all types *)
+  | Byzantine_mix of float
+      (** arbitrary channel: drop with probability [p], duplicate with
+          probability [p], on every type *)
+  | Delay_each of string * float  (** timing failure, seconds *)
+  | Duplicate of string  (** byzantine duplication *)
+  | Corrupt of string * float  (** probabilistic byzantine corruption *)
+  | Reorder of string  (** hold one, release behind its successor *)
+  | Inject_spurious of Spec.message * string
+      (** fabricate a stateless message addressed to the given node on
+          every passing message (probe) *)
+
+val describe : fault -> string
+
+val script_of_fault : fault -> string
+(** The generated filter script.  Scripts only assume the standard PFI
+    command vocabulary plus the spec's stub. *)
+
+val campaign : ?target:string -> Spec.t -> fault list
+(** The systematic fault set for a specification; [target] is the node
+    spurious injections are addressed to (defaults to ["peer"]).  Every
+    fault in the set is one a correct implementation should tolerate
+    (transient outages, probabilistic omission and corruption, timing,
+    duplication, reordering, spurious stateless injections, one
+    whole-vocabulary omission trial), so a violating trial indicates a
+    defect. *)

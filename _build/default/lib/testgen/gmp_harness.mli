@@ -1,0 +1,29 @@
+(** A campaign harness for the group membership protocol.
+
+    Topology: [n1..n3] daemons (the PFI layer under [n1]'s reliable
+    layer carries the generated fault scripts).  The fault window is
+    transient — scripts are cleared two-thirds into the horizon — so a
+    correct implementation must re-converge.
+
+    Oracle (the protocol's specification, §4.2):
+    - all daemons agree on one final view containing every member;
+    - no heartbeat-expect timer ever fired while IN_TRANSITION
+      ([gmp.spurious-timeout] must be absent);
+    - no proclaim storm ([gmp.proclaim-fwd] stays bounded — the
+      forwarding loop of Table 7 trips this).
+
+    With {!Pfi_gmp.Gmd.bugs} flags enabled, the campaign (or even its
+    fault-free control trial, for the proclaim loop) rediscovers the
+    paper's implanted defects. *)
+
+type env
+
+val harness :
+  ?bugs:Pfi_gmp.Gmd.bugs -> ?seed:int64 -> unit -> env Campaign.harness
+
+val default_horizon : Pfi_engine.Vtime.t
+
+val run_campaign :
+  ?bugs:Pfi_gmp.Gmd.bugs -> unit -> (Campaign.outcome list, string) result
+(** [Error reason] when even the fault-free control trial violates the
+    oracle (which is itself a finding when bugs are implanted). *)

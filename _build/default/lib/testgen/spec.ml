@@ -1,0 +1,51 @@
+type message = {
+  mtype : string;
+  stateless : bool;
+  gen_args : (string * string) list;
+}
+
+type t = {
+  protocol : string;
+  messages : message list;
+}
+
+let message ?(stateless = false) ?(gen_args = []) mtype =
+  { mtype; stateless; gen_args }
+
+let make ~protocol messages = { protocol; messages }
+
+let message_types t = List.map (fun m -> m.mtype) t.messages
+
+let find_message t mtype = List.find_opt (fun m -> m.mtype = mtype) t.messages
+
+let abp =
+  make ~protocol:"abp"
+    [ message "MSG";
+      message ~stateless:true ~gen_args:[ ("type", "ACK"); ("bit", "0") ] "ACK" ]
+
+let tcp =
+  make ~protocol:"tcp"
+    [ message "SYN";
+      message "SYN-ACK";
+      message ~stateless:true
+        ~gen_args:[ ("type", "ACK"); ("seq", "0"); ("ack", "0"); ("window", "4096") ]
+        "ACK";
+      message "DATA";
+      message "FIN";
+      message ~stateless:true ~gen_args:[ ("type", "RST") ] "RST" ]
+
+let gmp =
+  make ~protocol:"gmp"
+    [ message ~stateless:true
+        ~gen_args:[ ("type", "HEARTBEAT"); ("origin", "1"); ("sender", "1") ]
+        "HEARTBEAT";
+      message ~stateless:true
+        ~gen_args:[ ("type", "PROCLAIM"); ("origin", "1"); ("sender", "1") ]
+        "PROCLAIM";
+      message "JOIN";
+      message "MEMBERSHIP_CHANGE";
+      message "ACK";
+      message "COMMIT";
+      message ~stateless:true
+        ~gen_args:[ ("type", "DEAD"); ("origin", "1"); ("sender", "1"); ("subject", "2") ]
+        "DEAD" ]

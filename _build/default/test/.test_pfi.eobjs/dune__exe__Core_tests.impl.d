@@ -1,0 +1,1 @@
+test/core_tests.ml: Alcotest Blackboard Bytes Char Driver Failure_models Layer List Message Network Pfi_core Pfi_engine Pfi_layer Pfi_netsim Pfi_stack Printf Sim String Stubs Trace Vtime

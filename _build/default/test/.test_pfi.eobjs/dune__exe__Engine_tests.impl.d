@@ -1,0 +1,1 @@
+test/engine_tests.ml: Alcotest Event_queue Fmt Int64 List Pfi_engine QCheck QCheck_alcotest Rng Sim Timer Trace Vtime

@@ -1,0 +1,1 @@
+test/experiments_tests.ml: Ablations Alcotest Float Gmp_experiments List Pfi_engine Pfi_experiments Pfi_tcp Printf Profile Report String Tcp_experiments Vtime

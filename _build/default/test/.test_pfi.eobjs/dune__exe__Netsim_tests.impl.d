@@ -1,0 +1,1 @@
+test/netsim_tests.ml: Alcotest Driver Layer List Message Network Pfi_engine Pfi_netsim Pfi_stack Sim Vtime

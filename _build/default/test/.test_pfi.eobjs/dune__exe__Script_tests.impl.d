@@ -1,0 +1,1 @@
+test/script_tests.ml: Alcotest Ast Expr Gen Interp List Parser Pfi_script Printf QCheck QCheck_alcotest Script Tcl_list

@@ -1,0 +1,1 @@
+test/stack_tests.ml: Alcotest Bytes Bytes_codec Char Driver Layer List Message Pfi_stack QCheck QCheck_alcotest

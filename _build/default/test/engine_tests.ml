@@ -1,0 +1,366 @@
+(* Unit and property tests for the simulation engine. *)
+
+open Pfi_engine
+
+let check_i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+
+(* ------------------------------------------------------------------ *)
+(* Vtime                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_vtime_constructors () =
+  Alcotest.check check_i64 "us" 42L (Vtime.us 42);
+  Alcotest.check check_i64 "ms" 42_000L (Vtime.ms 42);
+  Alcotest.check check_i64 "sec" 42_000_000L (Vtime.sec 42);
+  Alcotest.check check_i64 "minutes" 60_000_000L (Vtime.minutes 1);
+  Alcotest.check check_i64 "hours" 3_600_000_000L (Vtime.hours 1);
+  Alcotest.check check_i64 "of_sec_f" 330_000L (Vtime.of_sec_f 0.33)
+
+let test_vtime_arith () =
+  Alcotest.check check_i64 "add" (Vtime.sec 3) (Vtime.add (Vtime.sec 1) (Vtime.sec 2));
+  Alcotest.check check_i64 "sub" (Vtime.sec 1) (Vtime.sub (Vtime.sec 3) (Vtime.sec 2));
+  Alcotest.check check_i64 "mul" (Vtime.sec 6) (Vtime.mul (Vtime.sec 3) 2);
+  Alcotest.check check_i64 "div" (Vtime.sec 3) (Vtime.div (Vtime.sec 6) 2);
+  Alcotest.check check_i64 "min" (Vtime.sec 1) (Vtime.min (Vtime.sec 1) (Vtime.sec 2));
+  Alcotest.check check_i64 "max" (Vtime.sec 2) (Vtime.max (Vtime.sec 1) (Vtime.sec 2));
+  Alcotest.(check bool) "lt" true Vtime.(Vtime.sec 1 < Vtime.sec 2);
+  Alcotest.(check bool) "ge" true Vtime.(Vtime.sec 2 >= Vtime.sec 2)
+
+let test_vtime_clamp_round () =
+  Alcotest.check check_i64 "clamp low"
+    (Vtime.sec 1) (Vtime.clamp ~lo:(Vtime.sec 1) ~hi:(Vtime.sec 10) (Vtime.ms 1));
+  Alcotest.check check_i64 "clamp high"
+    (Vtime.sec 10) (Vtime.clamp ~lo:(Vtime.sec 1) ~hi:(Vtime.sec 10) (Vtime.sec 99));
+  Alcotest.check check_i64 "round exact"
+    (Vtime.ms 500) (Vtime.round_up_to ~granule:(Vtime.ms 500) (Vtime.ms 500));
+  Alcotest.check check_i64 "round up"
+    (Vtime.ms 1000) (Vtime.round_up_to ~granule:(Vtime.ms 500) (Vtime.ms 501));
+  Alcotest.check check_i64 "round zero granule"
+    (Vtime.ms 123) (Vtime.round_up_to ~granule:Vtime.zero (Vtime.ms 123))
+
+let test_vtime_pp () =
+  Alcotest.(check string) "seconds" "6.500s" (Vtime.to_string (Vtime.ms 6500));
+  Alcotest.(check string) "ms" "330.000ms" (Vtime.to_string (Vtime.ms 330));
+  Alcotest.(check string) "us" "7us" (Vtime.to_string (Vtime.us 7));
+  Alcotest.(check string) "inf" "inf" (Vtime.to_string Vtime.infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7L and b = Rng.create ~seed:7L in
+  for _ = 1 to 100 do
+    Alcotest.check check_i64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7L in
+  let child = Rng.split a in
+  (* the child must not replay the parent's stream *)
+  let xs = List.init 8 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 8 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:99L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "int in [0,10)" true (v >= 0 && v < 10);
+    let f = Rng.float r 2.5 in
+    Alcotest.(check bool) "float in [0,2.5)" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_normal_moments () =
+  let r = Rng.create ~seed:3L in
+  let n = 20_000 in
+  let samples = List.init n (fun _ -> Rng.normal r ~mean:5.0 ~std:2.0) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples
+    /. float_of_int n
+  in
+  Alcotest.(check bool) "mean near 5" true (abs_float (mean -. 5.0) < 0.1);
+  Alcotest.(check bool) "std near 2" true (abs_float (sqrt var -. 2.0) < 0.1)
+
+let test_rng_bernoulli () =
+  let r = Rng.create ~seed:11L in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r ~p:0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:(Vtime.sec 3) "c");
+  ignore (Event_queue.push q ~time:(Vtime.sec 1) "a");
+  ignore (Event_queue.push q ~time:(Vtime.sec 2) "b");
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "-" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> ignore (Event_queue.push q ~time:Vtime.zero v)) [ "x"; "y"; "z" ];
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "-" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order at equal times"
+    [ "x"; "y"; "z" ] [ first; second; third ]
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let _a = Event_queue.push q ~time:(Vtime.sec 1) "a" in
+  let b = Event_queue.push q ~time:(Vtime.sec 2) "b" in
+  let _c = Event_queue.push q ~time:(Vtime.sec 3) "c" in
+  Event_queue.cancel q b;
+  Alcotest.(check int) "size after cancel" 2 (Event_queue.size q);
+  Event_queue.cancel q b;
+  Alcotest.(check int) "double cancel is a no-op" 2 (Event_queue.size q);
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "-" in
+  let first = pop () in
+  let second = pop () in
+  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ] [ first; second ];
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_queue_cancel_after_pop () =
+  let q = Event_queue.create () in
+  let a = Event_queue.push q ~time:(Vtime.sec 1) "a" in
+  ignore (Event_queue.pop q);
+  Event_queue.cancel q a;
+  Alcotest.(check int) "size unchanged" 0 (Event_queue.size q)
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "peek empty" true (Event_queue.peek_time q = None);
+  let a = Event_queue.push q ~time:(Vtime.sec 5) "a" in
+  Alcotest.(check bool) "peek" true (Event_queue.peek_time q = Some (Vtime.sec 5));
+  Event_queue.cancel q a;
+  Alcotest.(check bool) "peek skips cancelled" true (Event_queue.peek_time q = None)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event_queue pops in nondecreasing time order" ~count:200
+    QCheck.(list (pair (int_bound 10_000) small_int))
+    (fun items ->
+      let q = Event_queue.create () in
+      List.iter (fun (t, v) -> ignore (Event_queue.push q ~time:(Vtime.us t) v)) items;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      let times = drain [] in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Vtime.(a <= b) && sorted rest
+        | [ _ ] | [] -> true
+      in
+      List.length times = List.length items && sorted times)
+
+let prop_queue_cancel_subset =
+  QCheck.Test.make ~name:"cancelled events never pop" ~count:200
+    QCheck.(list (pair (int_bound 1000) bool))
+    (fun items ->
+      let q = Event_queue.create () in
+      let keep = ref [] in
+      List.iter
+        (fun (t, cancel_it) ->
+          let h = Event_queue.push q ~time:(Vtime.us t) (t, cancel_it) in
+          if cancel_it then Event_queue.cancel q h else keep := (t, cancel_it) :: !keep)
+        items;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let popped = drain [] in
+      List.for_all (fun (_, cancelled) -> not cancelled) popped
+      && List.length popped = List.length !keep)
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  ignore (Sim.schedule sim ~delay:(Vtime.sec 2) (fun () -> seen := ("b", Sim.now sim) :: !seen));
+  ignore (Sim.schedule sim ~delay:(Vtime.sec 1) (fun () -> seen := ("a", Sim.now sim) :: !seen));
+  Sim.run sim;
+  Alcotest.(check (list (pair string check_i64)))
+    "order and clock" [ ("a", Vtime.sec 1); ("b", Vtime.sec 2) ] (List.rev !seen)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.sec 1) (fun () ->
+         fired := "outer" :: !fired;
+         ignore (Sim.schedule sim ~delay:(Vtime.sec 1) (fun () -> fired := "inner" :: !fired))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested fires" [ "outer"; "inner" ] (List.rev !fired);
+  Alcotest.check check_i64 "final clock" (Vtime.sec 2) (Sim.now sim)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~delay:(Vtime.sec i) (fun () -> incr fired))
+  done;
+  Sim.run ~until:(Vtime.sec 5) sim;
+  Alcotest.(check int) "events up to horizon" 5 !fired;
+  Alcotest.check check_i64 "clock parked" (Vtime.sec 5) (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "rest fire on resume" 10 !fired
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~delay:(Vtime.sec 1) (fun () -> fired := true) in
+  Sim.cancel sim h;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled never fires" false !fired
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  ignore (Sim.schedule sim ~delay:(Vtime.sec 1) (fun () -> incr fired; Sim.stop sim));
+  ignore (Sim.schedule sim ~delay:(Vtime.sec 2) (fun () -> incr fired));
+  Sim.run sim;
+  Alcotest.(check int) "stop halts run" 1 !fired;
+  Sim.run sim;
+  Alcotest.(check int) "resumable" 2 !fired
+
+let test_sim_trace () =
+  let sim = Sim.create () in
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.sec 1) (fun () ->
+         Sim.record sim ~node:"n1" ~tag:"hello" "payload"));
+  Sim.run sim;
+  match Trace.entries (Sim.trace sim) with
+  | [ e ] ->
+    Alcotest.check check_i64 "stamped with virtual time" (Vtime.sec 1) e.Trace.time;
+    Alcotest.(check string) "node" "n1" e.Trace.node
+  | _ -> Alcotest.fail "expected exactly one trace entry"
+
+(* ------------------------------------------------------------------ *)
+(* Timer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_timer_one_shot () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let t = Timer.create sim ~name:"t" ~callback:(fun () -> fired := Sim.now sim :: !fired) in
+  Alcotest.(check bool) "starts disarmed" false (Timer.is_armed t);
+  Timer.arm t ~delay:(Vtime.sec 3);
+  Alcotest.(check bool) "armed" true (Timer.is_armed t);
+  Sim.run sim;
+  Alcotest.(check (list check_i64)) "fired once at 3s" [ Vtime.sec 3 ] !fired;
+  Alcotest.(check bool) "disarmed after fire" false (Timer.is_armed t);
+  Alcotest.(check int) "fired count" 1 (Timer.fired_count t)
+
+let test_timer_rearm_replaces () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let t = Timer.create sim ~name:"t" ~callback:(fun () -> fired := Sim.now sim :: !fired) in
+  Timer.arm t ~delay:(Vtime.sec 3);
+  Timer.arm t ~delay:(Vtime.sec 10);
+  Sim.run sim;
+  Alcotest.(check (list check_i64)) "only the re-armed deadline" [ Vtime.sec 10 ] !fired
+
+let test_timer_disarm () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let t = Timer.create sim ~name:"t" ~callback:(fun () -> incr fired) in
+  Timer.arm t ~delay:(Vtime.sec 3);
+  Timer.disarm t;
+  Sim.run sim;
+  Alcotest.(check int) "disarmed never fires" 0 !fired
+
+let test_timer_periodic () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let t =
+    Timer.create_periodic sim ~name:"hb" ~interval:(Vtime.sec 2) ~callback:(fun () ->
+        fired := Sim.now sim :: !fired)
+  in
+  Timer.arm t ~delay:(Vtime.sec 1);
+  Sim.run ~until:(Vtime.sec 8) sim;
+  Alcotest.(check (list check_i64)) "periodic schedule"
+    [ Vtime.sec 1; Vtime.sec 3; Vtime.sec 5; Vtime.sec 7 ]
+    (List.rev !fired);
+  Timer.disarm t;
+  Sim.run ~until:(Vtime.sec 20) sim;
+  Alcotest.(check int) "no firings after disarm" 4 (List.length !fired)
+
+let test_timer_deadline_remaining () =
+  let sim = Sim.create () in
+  let t = Timer.create sim ~name:"t" ~callback:(fun () -> ()) in
+  Timer.arm t ~delay:(Vtime.sec 5);
+  Alcotest.(check bool) "deadline" true (Timer.deadline t = Some (Vtime.sec 5));
+  Alcotest.(check bool) "remaining" true (Timer.remaining t = Some (Vtime.sec 5))
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_queries () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:(Vtime.sec 1) ~node:"a" ~tag:"x" "1";
+  Trace.record tr ~time:(Vtime.sec 2) ~node:"b" ~tag:"x" "2";
+  Trace.record tr ~time:(Vtime.sec 4) ~node:"a" ~tag:"y" "3";
+  Trace.record tr ~time:(Vtime.sec 8) ~node:"a" ~tag:"x" "4";
+  Alcotest.(check int) "count tag x" 3 (Trace.count ~tag:"x" tr);
+  Alcotest.(check int) "count node a tag x" 2 (Trace.count ~node:"a" ~tag:"x" tr);
+  Alcotest.(check (list check_i64)) "timestamps"
+    [ Vtime.sec 1; Vtime.sec 2; Vtime.sec 8 ]
+    (Trace.timestamps ~tag:"x" tr);
+  Alcotest.(check (list check_i64)) "intervals"
+    [ Vtime.sec 1; Vtime.sec 6 ]
+    (Trace.intervals ~tag:"x" tr);
+  (match Trace.last ~tag:"x" tr with
+   | Some e -> Alcotest.(check string) "last detail" "4" e.Trace.detail
+   | None -> Alcotest.fail "expected a last entry");
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+
+let suite =
+  [
+    Alcotest.test_case "vtime constructors" `Quick test_vtime_constructors;
+    Alcotest.test_case "vtime arithmetic" `Quick test_vtime_arith;
+    Alcotest.test_case "vtime clamp and rounding" `Quick test_vtime_clamp_round;
+    Alcotest.test_case "vtime pretty printing" `Quick test_vtime_pp;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng draw bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng normal moments" `Quick test_rng_normal_moments;
+    Alcotest.test_case "rng bernoulli rate" `Quick test_rng_bernoulli;
+    Alcotest.test_case "queue pops sorted" `Quick test_queue_order;
+    Alcotest.test_case "queue fifo at equal times" `Quick test_queue_fifo_ties;
+    Alcotest.test_case "queue cancel" `Quick test_queue_cancel;
+    Alcotest.test_case "queue cancel after pop" `Quick test_queue_cancel_after_pop;
+    Alcotest.test_case "queue peek" `Quick test_queue_peek;
+    QCheck_alcotest.to_alcotest prop_queue_sorted;
+    QCheck_alcotest.to_alcotest prop_queue_cancel_subset;
+    Alcotest.test_case "sim clock advances" `Quick test_sim_clock_advances;
+    Alcotest.test_case "sim nested scheduling" `Quick test_sim_nested_schedule;
+    Alcotest.test_case "sim run until horizon" `Quick test_sim_until;
+    Alcotest.test_case "sim cancel" `Quick test_sim_cancel;
+    Alcotest.test_case "sim stop" `Quick test_sim_stop;
+    Alcotest.test_case "sim trace recording" `Quick test_sim_trace;
+    Alcotest.test_case "timer one shot" `Quick test_timer_one_shot;
+    Alcotest.test_case "timer re-arm replaces" `Quick test_timer_rearm_replaces;
+    Alcotest.test_case "timer disarm" `Quick test_timer_disarm;
+    Alcotest.test_case "timer periodic" `Quick test_timer_periodic;
+    Alcotest.test_case "timer deadline and remaining" `Quick test_timer_deadline_remaining;
+    Alcotest.test_case "trace queries" `Quick test_trace_queries;
+  ]

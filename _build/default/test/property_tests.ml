@@ -1,0 +1,194 @@
+(* Cross-cutting property tests: end-to-end protocol guarantees under
+   randomized fault schedules, and robustness of the script front end. *)
+
+open Pfi_engine
+open Pfi_stack
+open Pfi_netsim
+open Pfi_core
+open Pfi_tcp
+
+(* ------------------------------------------------------------------ *)
+(* Script parser robustness                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_parser_total =
+  (* the parser either succeeds or raises Parse_error — nothing else *)
+  QCheck.Test.make ~name:"parser is total (Parse_error or success)" ~count:1000
+    QCheck.(string_gen_of_size (Gen.int_bound 60) Gen.printable)
+    (fun src ->
+      match Pfi_script.Parser.parse src with
+      | _ -> true
+      | exception Pfi_script.Parser.Parse_error _ -> true
+      | exception _ -> false)
+
+let prop_tokenize_total =
+  QCheck.Test.make ~name:"tokenizer is total" ~count:1000
+    QCheck.(string_gen_of_size (Gen.int_bound 60) Gen.printable)
+    (fun src ->
+      match Pfi_script.Parser.tokenize src with
+      | _ -> true
+      | exception Pfi_script.Parser.Parse_error _ -> true
+      | exception _ -> false)
+
+let prop_expr_no_crash =
+  (* random operator soup: Expr.eval either evaluates or raises Error *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 8)
+        (oneofl [ "1"; "2.5"; "x"; "+"; "-"; "*"; "/"; "("; ")"; "&&"; "!"; "<" ])
+      >|= String.concat " ")
+  in
+  QCheck.Test.make ~name:"expr evaluator is total" ~count:1000 (QCheck.make gen)
+    (fun src ->
+      match Pfi_script.Expr.eval src with
+      | _ -> true
+      | exception Pfi_script.Expr.Error _ -> true
+      | exception _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* TCP end-to-end integrity under a byzantine channel                 *)
+(* ------------------------------------------------------------------ *)
+
+let tcp_integrity_run ~seed =
+  let sim = Sim.create ~seed () in
+  let net = Network.create sim in
+  let client = Tcp.create ~sim ~node:"client" ~profile:Profile.xkernel () in
+  let c_pfi = Pfi_layer.create ~sim ~node:"client" ~stub:Tcp_stub.stub () in
+  let c_ip = Ip_lite.create ~node:"client" in
+  let c_dev = Network.attach net ~node:"client" in
+  Layer.stack [ Tcp.layer client; Pfi_layer.layer c_pfi; c_ip; c_dev ];
+  let server = Tcp.create ~sim ~node:"server" ~profile:Profile.xkernel () in
+  let s_ip = Ip_lite.create ~node:"server" in
+  let s_dev = Network.attach net ~node:"server" in
+  Layer.stack [ Tcp.layer server; s_ip; s_dev ];
+  Tcp.listen server ~port:80;
+  let got = Buffer.create 4096 in
+  let sconn = ref None in
+  Tcp.on_accept server (fun c ->
+      sconn := Some c;
+      Tcp.on_data c (Buffer.add_string got));
+  let conn = Tcp.connect client ~dst:"server" ~dst_port:80 () in
+  Sim.run ~until:(Vtime.sec 30) sim;
+  (* byzantine channel on the client's PFI layer: corruption, loss and
+     duplication of outgoing segments *)
+  Failure_models.apply c_pfi
+    (Failure_models.Byzantine { corrupt_p = 0.15; reorder_p = 0.1; duplicate_p = 0.15 });
+  Failure_models.apply c_pfi (Failure_models.Send_omission { p = 0.15 });
+  let sent = Buffer.create 4096 in
+  let rng = Rng.create ~seed:(Int64.add seed 1L) in
+  for i = 0 to 19 do
+    let chunk =
+      String.init (1 + Rng.int rng 200) (fun j -> Char.chr (65 + ((i + j) mod 26)))
+    in
+    Buffer.add_string sent chunk;
+    ignore
+      (Sim.schedule sim ~delay:(Vtime.sec (2 * i)) (fun () -> Tcp.send conn chunk))
+  done;
+  (* clear the faults near the end so recovery can finish *)
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.sec 60) (fun () ->
+         Pfi_layer.clear_native_filters c_pfi));
+  Sim.run ~until:(Vtime.minutes 20) sim;
+  (Buffer.contents sent, Buffer.contents got, Tcp.state conn)
+
+let prop_tcp_integrity =
+  QCheck.Test.make ~name:"tcp delivers exactly what was sent under byzantine faults"
+    ~count:12
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let sent, got, state = tcp_integrity_run ~seed:(Int64.of_int seed) in
+      String.equal sent got && state = Tcp.Established)
+
+(* ------------------------------------------------------------------ *)
+(* GMP agreement under a transient random fault schedule              *)
+(* ------------------------------------------------------------------ *)
+
+let gmp_agreement_run ~seed =
+  let open Pfi_gmp in
+  let sim = Sim.create ~seed () in
+  let net = Network.create sim in
+  let n = 4 in
+  let names = List.init n (fun i -> (Printf.sprintf "n%d" (i + 1), i + 1)) in
+  let nodes =
+    List.map
+      (fun (name, node_id) ->
+        let peers = List.filter (fun (m, _) -> m <> name) names in
+        let gmd = Gmd.create ~sim ~node:name ~id:node_id ~peers () in
+        let pfi = Pfi_layer.create ~sim ~node:name ~stub:Gmp_stub.stub () in
+        let rel = Rel_udp.create ~sim ~node:name () in
+        let device = Network.attach net ~node:name in
+        Layer.stack [ Gmd.layer gmd; Rel_udp.layer rel; Pfi_layer.layer pfi; device ];
+        (name, (gmd, pfi)))
+      names
+  in
+  List.iteri
+    (fun i (_, (gmd, _)) ->
+      ignore (Sim.schedule sim ~delay:(Vtime.sec i) (fun () -> Gmd.start gmd)))
+    nodes;
+  (* a transient random omission fault on one node, active 40 s..100 s *)
+  let rng = Rng.create ~seed:(Int64.add seed 7L) in
+  let victim_name, (_, victim_pfi) = List.nth nodes (Rng.int rng n) in
+  let p = 0.1 +. Rng.float rng 0.25 in
+  ignore victim_name;
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.sec 40) (fun () ->
+         Failure_models.apply victim_pfi (Failure_models.Send_omission { p })));
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.sec 100) (fun () ->
+         Pfi_layer.clear_native_filters victim_pfi));
+  (* long quiescence after healing *)
+  Sim.run ~until:(Vtime.sec 400) sim;
+  List.map (fun (_, (gmd, _)) -> Gmd.view gmd) nodes
+
+let prop_gmp_agreement =
+  QCheck.Test.make
+    ~name:"gmp re-converges to one agreed full view after transient faults"
+    ~count:8
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let views = gmp_agreement_run ~seed:(Int64.of_int seed) in
+      match views with
+      | first :: rest ->
+        let open Pfi_gmp in
+        first.Gmd.members = [ 1; 2; 3; 4 ]
+        && List.for_all
+             (fun v ->
+               v.Gmd.group_id = first.Gmd.group_id
+               && v.Gmd.members = first.Gmd.members)
+             rest
+      | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* ABP integrity under random loss                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_abp_integrity =
+  QCheck.Test.make ~name:"abp delivers in order under random loss" ~count:15
+    QCheck.(pair (int_range 1 10_000) (int_range 0 60))
+    (fun (seed, loss_pct) ->
+      let open Pfi_abp in
+      let sim = Sim.create ~seed:(Int64.of_int seed) () in
+      let net = Network.create sim in
+      let a = Abp.create ~sim ~node:"a" ~peer:"b" () in
+      let dev_a = Network.attach net ~node:"a" in
+      Layer.stack [ Abp.layer a; dev_a ];
+      let b = Abp.create ~sim ~node:"b" ~peer:"a" () in
+      let dev_b = Network.attach net ~node:"b" in
+      Layer.stack [ Abp.layer b; dev_b ];
+      let loss = float_of_int loss_pct /. 100.0 in
+      Network.set_loss net ~src:"a" ~dst:"b" loss;
+      Network.set_loss net ~src:"b" ~dst:"a" loss;
+      let expected = List.init 12 (Printf.sprintf "m%02d") in
+      List.iter (Abp.send a) expected;
+      Sim.run ~until:(Vtime.minutes 10) sim;
+      Abp.delivered b = expected)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_parser_total;
+    QCheck_alcotest.to_alcotest prop_tokenize_total;
+    QCheck_alcotest.to_alcotest prop_expr_no_crash;
+    QCheck_alcotest.to_alcotest prop_tcp_integrity;
+    QCheck_alcotest.to_alcotest prop_gmp_agreement;
+    QCheck_alcotest.to_alcotest prop_abp_integrity;
+  ]

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "pfi"
+    [ ("engine", Engine_tests.suite);
+      ("script", Script_tests.suite);
+      ("stack", Stack_tests.suite);
+      ("netsim", Netsim_tests.suite);
+      ("core", Core_tests.suite);
+      ("tcp", Tcp_tests.suite);
+      ("tcp-features", Tcp_feature_tests.suite);
+      ("gmp", Gmp_tests.suite);
+      ("testgen", Testgen_tests.suite);
+      ("experiments", Experiments_tests.suite);
+      ("properties", Property_tests.suite) ]
