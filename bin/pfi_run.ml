@@ -11,27 +11,29 @@
 open Cmdliner
 open Pfi_experiments
 
-let artifacts : (string * string * (unit -> Report.t option)) list =
-  [ ("table1", "TCP retransmission timeouts", fun () -> Some (Tcp_experiments.table1 ()));
-    ("table2", "TCP RTO with delayed ACKs", fun () -> Some (Tcp_experiments.table2 ()));
+type output =
+  | Table of Report.t
+  | Figure of Report.figure
+
+let artifacts : (string * string * (unit -> output)) list =
+  [ ("table1", "TCP retransmission timeouts", fun () -> Table (Tcp_experiments.table1 ()));
+    ("table2", "TCP RTO with delayed ACKs", fun () -> Table (Tcp_experiments.table2 ()));
     ( "figure4",
       "retransmission timeout series",
-      fun () ->
-        Report.print_figure (Tcp_experiments.figure4 ());
-        None );
-    ("table3", "TCP keep-alive", fun () -> Some (Tcp_experiments.table3 ()));
-    ("table4", "TCP zero-window probes", fun () -> Some (Tcp_experiments.table4 ()));
-    ("exp5", "TCP reordering", fun () -> Some (Tcp_experiments.exp5_report ()));
-    ("table5", "GMP packet interruption", fun () -> Some (Gmp_experiments.table5 ()));
-    ("table6", "GMP network partitions", fun () -> Some (Gmp_experiments.table6 ()));
-    ("table7", "GMP proclaim forwarding", fun () -> Some (Gmp_experiments.table7 ()));
-    ("table8", "GMP timer test", fun () -> Some (Gmp_experiments.table8 ()));
+      fun () -> Figure (Tcp_experiments.figure4 ()) );
+    ("table3", "TCP keep-alive", fun () -> Table (Tcp_experiments.table3 ()));
+    ("table4", "TCP zero-window probes", fun () -> Table (Tcp_experiments.table4 ()));
+    ("exp5", "TCP reordering", fun () -> Table (Tcp_experiments.exp5_report ()));
+    ("table5", "GMP packet interruption", fun () -> Table (Gmp_experiments.table5 ()));
+    ("table6", "GMP network partitions", fun () -> Table (Gmp_experiments.table6 ()));
+    ("table7", "GMP proclaim forwarding", fun () -> Table (Gmp_experiments.table7 ()));
+    ("table8", "GMP timer test", fun () -> Table (Gmp_experiments.table8 ()));
     ( "ablation-karn",
       "ablation: Karn sampling on/off",
-      fun () -> Some (Ablations.table_karn ()) );
+      fun () -> Table (Ablations.table_karn ()) );
     ( "ablation-counter",
       "ablation: retry accounting policy",
-      fun () -> Some (Ablations.table_counter ()) ) ]
+      fun () -> Table (Ablations.table_counter ()) ) ]
 
 let list_cmd =
   let doc = "List the paper artifacts this reproduction can regenerate." in
@@ -42,30 +44,84 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_one name =
+(* While [f] runs, capture every simulation it creates (experiment
+   generators build their sims internally) and let it flush their traces
+   as JSONL to [trace_out].  The flush callback takes extra key/value
+   pairs spliced into every line, so each exported entry says which
+   artifact and which sim it came from. *)
+let with_trace_capture trace_out f =
+  match trace_out with
+  | None -> f (fun _extra -> ())
+  | Some path ->
+    let oc =
+      try open_out path
+      with Sys_error m ->
+        Printf.eprintf "cannot open trace output: %s\n" m;
+        exit 1
+    in
+    let sims = ref [] in
+    Pfi_engine.Sim.set_create_hook (Some (fun sim -> sims := sim :: !sims));
+    let flush extra =
+      List.iteri
+        (fun i sim ->
+          Pfi_engine.Trace.output_jsonl
+            ~extra:(extra @ [ ("sim", string_of_int i) ])
+            oc
+            (Pfi_engine.Sim.trace sim))
+        (List.rev !sims);
+      sims := []
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Pfi_engine.Sim.set_create_hook None;
+        close_out oc)
+      (fun () -> f flush)
+
+let run_one ~json ~flush name =
   match List.find_opt (fun (n, _, _) -> n = name) artifacts with
   | None ->
     Printf.eprintf "unknown artifact %S (try `pfi_run list`)\n" name;
     exit 1
-  | Some (_, desc, gen) -> (
-    Printf.printf "== %s: %s ==\n%!" name desc;
-    match gen () with
-    | Some table -> Report.print table
-    | None -> ())
+  | Some (_, desc, gen) ->
+    if not json then Printf.printf "== %s: %s ==\n%!" name desc;
+    let out = gen () in
+    flush [ ("artifact", name) ];
+    (match (out, json) with
+     | Table t, false -> Report.print t
+     | Table t, true -> print_endline (Report.to_json t)
+     | Figure f, false -> Report.print_figure f
+     | Figure f, true -> print_endline (Report.figure_to_json f))
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Print each artifact as a single-line JSON object instead of ASCII.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the full simulation trace of every run as JSON Lines to \
+           $(docv): one object per trace entry, tagged with the artifact name \
+           and a per-artifact sim index.")
 
 let run_cmd =
   let doc = "Regenerate one or more paper artifacts (or `all`)." in
   let names =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ARTIFACT")
   in
-  let run names =
+  let run names json trace_out =
     let names =
       if List.mem "all" names then List.map (fun (n, _, _) -> n) artifacts
       else names
     in
-    List.iter run_one names
+    with_trace_capture trace_out (fun flush ->
+        List.iter (run_one ~json ~flush) names)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ names)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ names $ json_flag $ trace_out_arg)
 
 (* A REPL over the filter scripting language, with a sample TCP segment
    bound as cur_msg so msg_* commands can be explored interactively. *)
@@ -169,7 +225,7 @@ let msc_cmd =
   Cmd.v (Cmd.info "msc" ~doc) Term.(const msc $ const ())
 
 (* fault-injection campaigns from generated scripts *)
-let campaign which =
+let campaign which trace_out =
   let open Pfi_testgen in
   let print_abp ~bug =
     let outcomes = Abp_harness.run_campaign ~bug_ignore_ack_bit:bug () in
@@ -181,21 +237,24 @@ let campaign which =
     | Error reason ->
       Printf.printf "the fault-free control trial already fails: %s\n" reason
   in
-  match which with
-  | "abp" -> print_abp ~bug:false
-  | "abp-buggy" -> print_abp ~bug:true
-  | "gmp" -> print_gmp ~bugs:Pfi_gmp.Gmd.no_bugs
-  | "gmp-buggy" -> print_gmp ~bugs:Pfi_gmp.Gmd.all_bugs
-  | other ->
-    Printf.eprintf "unknown campaign %S (abp, abp-buggy, gmp, gmp-buggy)\n" other;
-    exit 1
+  with_trace_capture trace_out (fun flush ->
+      (match which with
+       | "abp" -> print_abp ~bug:false
+       | "abp-buggy" -> print_abp ~bug:true
+       | "gmp" -> print_gmp ~bugs:Pfi_gmp.Gmd.no_bugs
+       | "gmp-buggy" -> print_gmp ~bugs:Pfi_gmp.Gmd.all_bugs
+       | other ->
+         Printf.eprintf "unknown campaign %S (abp, abp-buggy, gmp, gmp-buggy)\n"
+           other;
+         exit 1);
+      flush [ ("campaign", which) ])
 
 let campaign_cmd =
   let doc =
     "Run a generated fault-injection campaign (abp | abp-buggy | gmp |      gmp-buggy)."
   in
   let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
-  Cmd.v (Cmd.info "campaign" ~doc) Term.(const campaign $ which)
+  Cmd.v (Cmd.info "campaign" ~doc) Term.(const campaign $ which $ trace_out_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

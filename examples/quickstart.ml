@@ -21,7 +21,8 @@ let toy_stub =
     describe = (fun msg -> "toy " ^ Message.to_string msg);
     get_field = (fun _ _ -> None);
     set_field = (fun _ _ _ -> false);
-    generate = (fun _ -> None) }
+    generate = (fun _ -> None);
+    fields = (fun _ -> []) }
 
 let () =
   (* 1. a simulation and a network *)

@@ -203,6 +203,14 @@ let stub =
         | Some "MSG" ->
           make kind_msg
             (Bytes.of_string (Option.value (List.assoc_opt "data" args) ~default:""))
-        | _ -> None) }
+        | _ -> None);
+    fields =
+      (fun msg ->
+        match decode (Message.payload msg) with
+        | None -> []
+        | Some (k, bit, payload) ->
+          [ ("kind", if k = kind_msg then "MSG" else "ACK");
+            ("bit", string_of_int bit);
+            ("len", string_of_int (Bytes.length payload)) ]) }
 
 let () = Pfi_core.Stubs.register stub

@@ -15,11 +15,12 @@ type stats = {
   mutable held : int;
   mutable injected : int;
   mutable modified : int;
+  mutable dup_orphans : int;
 }
 
 let fresh_stats () =
   { passed = 0; dropped = 0; delayed = 0; duplicated = 0; held = 0;
-    injected = 0; modified = 0 }
+    injected = 0; modified = 0; dup_orphans = 0 }
 
 type direction = Send | Receive
 
@@ -58,6 +59,7 @@ type t = {
   recv_stats : stats;
   mutable ctx : eval_ctx option;  (* current message context, if any *)
   peers : (string, t) Hashtbl.t;
+  mutable trace_verdicts : bool;
 }
 
 let layer t =
@@ -74,6 +76,7 @@ let send_interp t = t.send_interp
 let receive_interp t = t.recv_interp
 let send_stats t = t.send_stats
 let receive_stats t = t.recv_stats
+let set_trace_verdicts t on = t.trace_verdicts <- on
 
 let total_filtered t =
   let sum s = s.passed + s.dropped + s.delayed + s.held in
@@ -211,6 +214,7 @@ let bind_commands t interp dir =
         let msg = resolve_msg t h in
         let tag = match args with [ _; tag ] -> tag | _ -> "pfi.log" in
         Sim.record t.sim ~node:t.node_name ~tag
+          ~fields:(("dir", dir_name dir) :: t.stub.Stubs.fields msg)
           (Printf.sprintf "%s %s" (dir_name dir) (t.stub.Stubs.describe msg));
         ""
       | _ -> script_error "usage: msg_log msgHandle ?tag?");
@@ -467,33 +471,94 @@ let run_script t dir msg =
         | e -> raise e));
     (ctx.verdict, ctx.dups)
 
+let verdict_name = function
+  | V_pass -> "pass"
+  | V_drop -> "drop"
+  | V_delay _ -> "delay"
+  | V_hold _ -> "hold"
+
+(* Structured per-message verdict event (tag "pfi.verdict"), opt-in via
+   [set_trace_verdicts].  Stub fields ride along, minus any key the
+   verdict metadata already claimed. *)
+let trace_verdict t dir msg verdict dups =
+  if t.trace_verdicts then begin
+    let base =
+      [ ("dir", dir_name dir);
+        ("verdict", verdict_name verdict);
+        ("type", t.stub.Stubs.msg_type msg);
+        ("len", string_of_int (Message.length msg)) ]
+    in
+    let base = if dups > 0 then base @ [ ("dups", string_of_int dups) ] else base in
+    let extra =
+      List.filter (fun (k, _) -> not (List.mem_assoc k base)) (t.stub.Stubs.fields msg)
+    in
+    Sim.record t.sim ~node:t.node_name ~tag:"pfi.verdict" ~fields:(base @ extra)
+      (Printf.sprintf "%s %s %s" (dir_name dir) (verdict_name verdict)
+         (t.stub.Stubs.describe msg))
+  end
+
 let filter t dir msg =
   let stats = stats_for t dir in
   let native = match dir with Send -> t.native_send | Receive -> t.native_recv in
   match run_native native msg with
-  | Drop -> stats.dropped <- stats.dropped + 1
+  | Drop ->
+    stats.dropped <- stats.dropped + 1;
+    trace_verdict t dir msg V_drop 0
   | Delay d ->
     stats.delayed <- stats.delayed + 1;
+    trace_verdict t dir msg (V_delay d) 0;
     ignore (Sim.schedule t.sim ~delay:d (fun () -> continue t dir msg))
   | Pass ->
     let verdict, dups = run_script t dir msg in
-    if dups > 0 then begin
-      stats.duplicated <- stats.duplicated + dups;
-      for _ = 1 to dups do
-        continue t dir (Message.copy msg)
-      done
-    end;
+    (* Copies are snapshotted before the original continues (downstream
+       layers may mutate it in place), but sent onward only after the
+       verdict is applied, so the original is always the first arrival
+       and a dropped original never travels disguised as its copy. *)
+    let copies =
+      if dups > 0 then begin
+        stats.duplicated <- stats.duplicated + dups;
+        List.init dups (fun _ -> Message.copy msg)
+      end
+      else []
+    in
+    trace_verdict t dir msg verdict dups;
     (match verdict with
      | V_pass ->
        stats.passed <- stats.passed + 1;
        continue t dir msg
-     | V_drop -> stats.dropped <- stats.dropped + 1
+     | V_drop ->
+       stats.dropped <- stats.dropped + 1;
+       if dups > 0 then stats.dup_orphans <- stats.dup_orphans + dups
      | V_delay d ->
        stats.delayed <- stats.delayed + 1;
        ignore (Sim.schedule t.sim ~delay:d (fun () -> continue t dir msg))
      | V_hold qname ->
        stats.held <- stats.held + 1;
-       Queue.add (msg, dir) (hold_queue t qname))
+       Queue.add (msg, dir) (hold_queue t qname));
+    List.iter (continue t dir) copies
+
+(* ------------------------------------------------------------------ *)
+(* Stats snapshot                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stats_fields prefix (s : stats) =
+  [ (prefix ^ ".passed", string_of_int s.passed);
+    (prefix ^ ".dropped", string_of_int s.dropped);
+    (prefix ^ ".delayed", string_of_int s.delayed);
+    (prefix ^ ".duplicated", string_of_int s.duplicated);
+    (prefix ^ ".held", string_of_int s.held);
+    (prefix ^ ".injected", string_of_int s.injected);
+    (prefix ^ ".modified", string_of_int s.modified);
+    (prefix ^ ".dup_orphans", string_of_int s.dup_orphans) ]
+
+let record_stats_snapshot t =
+  let s = t.send_stats and r = t.recv_stats in
+  Sim.record t.sim ~node:t.node_name ~tag:"pfi.stats"
+    ~fields:(stats_fields "send" s @ stats_fields "recv" r)
+    (Printf.sprintf
+       "send passed=%d dropped=%d delayed=%d dup=%d | recv passed=%d dropped=%d delayed=%d dup=%d"
+       s.passed s.dropped s.delayed s.duplicated r.passed r.dropped r.delayed
+       r.duplicated)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                       *)
@@ -521,7 +586,8 @@ let create ~sim ~node ?(name = "pfi") ?(stub = Stubs.raw) ?blackboard () =
       send_stats = fresh_stats ();
       recv_stats = fresh_stats ();
       ctx = None;
-      peers = Hashtbl.create 8 }
+      peers = Hashtbl.create 8;
+      trace_verdicts = false }
   in
   let the_layer =
     Layer.create ~name ~node

@@ -127,8 +127,34 @@ type stats = {
   mutable held : int;
   mutable injected : int;
   mutable modified : int;
+  mutable dup_orphans : int;
+      (** Copies requested by [xDup] whose original was then dropped by
+          the same filter pass.  The copies still travel (that is the
+          point of duplication under fault injection), but they are
+          counted separately so experiments can tell "duplicate of a
+          delivered message" from "copy that outlived its original". *)
 }
 
 val send_stats : t -> stats
 val receive_stats : t -> stats
 val total_filtered : t -> int
+
+(** {1 Structured observability}
+
+    Opt-in trace instrumentation on top of the per-direction counters.
+    Both emitters attach typed key/value [fields] to the trace entries
+    they record, so {!Pfi_engine.Trace.to_jsonl} exports are
+    machine-readable without re-parsing detail strings. *)
+
+val set_trace_verdicts : t -> bool -> unit
+(** When enabled, every filtered message records a trace entry with tag
+    ["pfi.verdict"] and fields [dir], [verdict] (pass/drop/delay/hold),
+    [type], [len], [dups] (when non-zero), plus the packet stub's own
+    fields.  Off by default: per-message tracing is measurable overhead
+    on large campaigns. *)
+
+val record_stats_snapshot : t -> unit
+(** Records a trace entry with tag ["pfi.stats"] carrying every counter
+    of both directions as fields ([send.passed], [recv.dropped], ...).
+    Call at checkpoints or at the end of a run to embed the layer's
+    final accounting in the exported trace. *)

@@ -7,6 +7,7 @@ type t = {
   get_field : Message.t -> string -> string option;
   set_field : Message.t -> string -> string -> bool;
   generate : (string * string) list -> Message.t option;
+  fields : Message.t -> (string * string) list;
 }
 
 let raw =
@@ -19,7 +20,8 @@ let raw =
       (fun args ->
         match List.assoc_opt "data" args with
         | Some data -> Some (Message.of_string data)
-        | None -> None) }
+        | None -> None);
+    fields = (fun msg -> [ ("len", string_of_int (Message.length msg)) ]) }
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 8
 

@@ -26,6 +26,10 @@ type t = {
           arguments don't describe a generable packet.  Only stateless
           packets can be generated here — stateful ones must come from
           the driver layer (paper, §2.1). *)
+  fields : Pfi_stack.Message.t -> (string * string) list;
+      (** Structured key/value rendering of the interesting header
+          fields, attached to trace entries ([msg_log], PFI verdict
+          events) so JSONL exports are machine-comparable. *)
 }
 
 val raw : t

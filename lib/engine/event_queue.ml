@@ -20,6 +20,7 @@ let create () = { heap = [||]; len = 0; next_seq = 0; live = 0 }
 
 let is_empty t = t.live = 0
 let size t = t.live
+let physical_size t = t.len
 
 let entry_lt a b =
   let c = Vtime.compare a.time b.time in
@@ -68,11 +69,32 @@ let push t ~time value =
   t.live <- t.live + 1;
   h
 
+(* Rebuild the heap with only the pending entries.  Lazy reclamation
+   alone frees a cancelled entry only when it reaches the heap top, so
+   long-dated cancelled timers (re-armed retransmit timers, say) would
+   otherwise accumulate without bound. *)
+let compact t =
+  let dst = ref 0 in
+  for i = 0 to t.len - 1 do
+    let e = t.heap.(i) in
+    if e.h.state = Pending then begin
+      t.heap.(!dst) <- e;
+      incr dst
+    end
+  done;
+  t.len <- !dst;
+  for i = (t.len / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let compact_threshold = 64
+
 let cancel t h =
   match h.state with
   | Pending ->
     h.state <- Cancelled;
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    if t.len >= compact_threshold && 2 * t.live < t.len then compact t
   | Cancelled | Fired -> ()
 
 let pop_top t =

@@ -3,7 +3,9 @@
     A binary min-heap ordered by (time, insertion sequence); two events at
     the same virtual time fire in the order they were scheduled, which keeps
     runs deterministic.  Cancellation is O(1) by marking; dead entries are
-    dropped lazily when they reach the top. *)
+    dropped lazily when they reach the top, and the heap is compacted
+    (amortised O(1) per cancel) when cancelled entries outnumber live
+    ones, so cancel-heavy workloads stay bounded. *)
 
 type 'a t
 
@@ -16,6 +18,12 @@ val is_empty : 'a t -> bool
 
 val size : 'a t -> int
 (** Live (non-cancelled) entries. *)
+
+val physical_size : 'a t -> int
+(** Stored entries, including cancelled ones not yet reclaimed — for
+    tests and diagnostics.  Bounded by roughly twice {!size} (plus a
+    small constant): the heap is compacted whenever more than half of
+    its entries are cancelled. *)
 
 val push : 'a t -> time:Vtime.t -> 'a -> handle
 

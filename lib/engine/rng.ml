@@ -22,9 +22,18 @@ let split t =
 
 let int t bound =
   assert (bound > 0);
-  (* keep 62 bits so the value fits OCaml's 63-bit native int non-negatively *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  v mod bound
+  (* Rejection sampling: [v mod bound] alone is biased whenever [bound]
+     does not divide 2^62, so draws from the incomplete block at the top
+     of the range are rejected.  [v - r + (bound - 1)] wraps negative
+     exactly when [v] falls in that block; the rejection probability is
+     at most [bound / 2^62], so retries are vanishingly rare. *)
+  let rec draw () =
+    (* keep 62 bits so the value fits OCaml's 63-bit native int non-negatively *)
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let r = v mod bound in
+    if v - r + (bound - 1) < 0 then draw () else r
+  in
+  draw ()
 
 let float t bound =
   (* 53 random bits scaled into [0, 1), the double-precision mantissa width *)

@@ -19,7 +19,9 @@ val copy : t -> t
 
 val bits64 : t -> int64
 val int : t -> int -> int
-(** [int t bound] draws uniformly from [0, bound).  [bound > 0]. *)
+(** [int t bound] draws uniformly from [0, bound).  [bound > 0].
+    Uses rejection sampling, so corruption offsets and loss decisions
+    carry no modulo bias. *)
 
 val float : t -> float -> float
 (** [float t bound] draws uniformly from [0, bound). *)

@@ -10,19 +10,30 @@ type t = {
 
 exception Stop
 
+(* Observability plumbing for front ends (e.g. `pfi_run --trace-out`):
+   experiment generators build their simulations internally, so a CLI
+   that wants every trace registers a hook here before running them. *)
+let creation_hook : (t -> unit) option ref = ref None
+
+let set_create_hook hook = creation_hook := hook
+
 let create ?(seed = 1L) () =
-  { queue = Event_queue.create ();
-    clock = Vtime.zero;
-    root_rng = Rng.create ~seed;
-    trace = Trace.create ();
-    stopping = false }
+  let t =
+    { queue = Event_queue.create ();
+      clock = Vtime.zero;
+      root_rng = Rng.create ~seed;
+      trace = Trace.create ();
+      stopping = false }
+  in
+  (match !creation_hook with Some f -> f t | None -> ());
+  t
 
 let now t = t.clock
 let rng t = t.root_rng
 let trace t = t.trace
 
-let record t ~node ~tag detail =
-  Trace.record t.trace ~time:t.clock ~node ~tag detail
+let record ?fields t ~node ~tag detail =
+  Trace.record ?fields t.trace ~time:t.clock ~node ~tag detail
 
 let schedule_at t ~time callback =
   let time = Vtime.max time t.clock in

@@ -22,8 +22,18 @@ val rng : t -> Rng.t
 val trace : t -> Trace.t
 (** The shared experiment trace. *)
 
-val record : t -> node:string -> tag:string -> string -> unit
-(** Appends to {!trace} stamped with the current virtual time. *)
+val record :
+  ?fields:(string * string) list ->
+  t -> node:string -> tag:string -> string -> unit
+(** Appends to {!trace} stamped with the current virtual time.
+    [fields] attaches structured key/values alongside the detail
+    string (see {!Trace.record}). *)
+
+val set_create_hook : ((t -> unit) option) -> unit
+(** Process-wide hook invoked on every {!create} — lets a front end
+    capture the simulations (and hence traces) that experiment
+    generators build internally.  Pass [None] to uninstall.  Not for
+    library code. *)
 
 (** {1 Scheduling} *)
 

@@ -1,32 +1,119 @@
+(* Trace v2: a growable array of typed entries with per-(node, tag)
+   offset indexes, so the analysis queries the experiment tables issue
+   dozens of times per run are O(matches) instead of O(log length). *)
+
 type entry = {
   time : Vtime.t;
   node : string;
   tag : string;
   detail : string;
+  fields : (string * string) list;
 }
 
-type t = { mutable rev_entries : entry list; mutable length : int }
+(* growable vector of entry offsets — one per index bucket *)
+module Ivec = struct
+  type t = { mutable a : int array; mutable len : int }
 
-let create () = { rev_entries = []; length = 0 }
+  let create () = { a = [||]; len = 0 }
 
-let record t ~time ~node ~tag detail =
-  t.rev_entries <- { time; node; tag; detail } :: t.rev_entries;
-  t.length <- t.length + 1
+  let push v i =
+    if v.len = Array.length v.a then begin
+      let a = Array.make (if v.len = 0 then 8 else v.len * 2) 0 in
+      Array.blit v.a 0 a 0 v.len;
+      v.a <- a
+    end;
+    v.a.(v.len) <- i;
+    v.len <- v.len + 1
+
+  let get v i = v.a.(i)
+  let length v = v.len
+end
+
+type t = {
+  mutable store : entry array;
+  mutable len : int;
+  intern : (string, string) Hashtbl.t;
+  by_node : (string, Ivec.t) Hashtbl.t;
+  by_tag : (string, Ivec.t) Hashtbl.t;
+  by_node_tag : (string * string, Ivec.t) Hashtbl.t;
+}
+
+let create () =
+  { store = [||];
+    len = 0;
+    intern = Hashtbl.create 64;
+    by_node = Hashtbl.create 16;
+    by_tag = Hashtbl.create 64;
+    by_node_tag = Hashtbl.create 64 }
 
 let clear t =
-  t.rev_entries <- [];
-  t.length <- 0
+  t.store <- [||];
+  t.len <- 0;
+  Hashtbl.reset t.intern;
+  Hashtbl.reset t.by_node;
+  Hashtbl.reset t.by_tag;
+  Hashtbl.reset t.by_node_tag
 
-let entries t = List.rev t.rev_entries
+let intern t s =
+  match Hashtbl.find_opt t.intern s with
+  | Some canonical -> canonical
+  | None ->
+    Hashtbl.add t.intern s s;
+    s
 
-let length t = t.length
+let bucket tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = Ivec.create () in
+    Hashtbl.add tbl key v;
+    v
 
-let matches ?node ?tag e =
-  (match node with None -> true | Some n -> String.equal e.node n)
-  && (match tag with None -> true | Some g -> String.equal e.tag g)
+let record ?(fields = []) t ~time ~node ~tag detail =
+  let node = intern t node and tag = intern t tag in
+  let e = { time; node; tag; detail; fields } in
+  if Array.length t.store = 0 then t.store <- Array.make 64 e
+  else if t.len >= Array.length t.store then begin
+    let store = Array.make (Array.length t.store * 2) e in
+    Array.blit t.store 0 store 0 t.len;
+    t.store <- store
+  end;
+  t.store.(t.len) <- e;
+  let i = t.len in
+  t.len <- t.len + 1;
+  Ivec.push (bucket t.by_node node) i;
+  Ivec.push (bucket t.by_tag tag) i;
+  Ivec.push (bucket t.by_node_tag (node, tag)) i
+
+let length t = t.len
+
+let entries t = Array.to_list (Array.sub t.store 0 t.len)
+
+(* the index bucket answering a (node?, tag?) query, if one applies;
+   None means "every entry" *)
+let lookup ?node ?tag t =
+  match (node, tag) with
+  | None, None -> None
+  | Some n, None -> Some (Option.value (Hashtbl.find_opt t.by_node n) ~default:(Ivec.create ()))
+  | None, Some g -> Some (Option.value (Hashtbl.find_opt t.by_tag g) ~default:(Ivec.create ()))
+  | Some n, Some g ->
+    Some (Option.value (Hashtbl.find_opt t.by_node_tag (n, g)) ~default:(Ivec.create ()))
+
+let iter ?node ?tag f t =
+  match lookup ?node ?tag t with
+  | None ->
+    for i = 0 to t.len - 1 do
+      f t.store.(i)
+    done
+  | Some v ->
+    for i = 0 to Ivec.length v - 1 do
+      f t.store.(Ivec.get v i)
+    done
 
 let find ?node ?tag t =
-  List.filter (matches ?node ?tag) (entries t)
+  let acc = ref [] in
+  iter ?node ?tag (fun e -> acc := e :: !acc) t;
+  List.rev !acc
 
 let timestamps ?node ~tag t =
   List.map (fun e -> e.time) (find ?node ~tag t)
@@ -38,13 +125,103 @@ let intervals ?node ~tag t =
   in
   diffs (timestamps ?node ~tag t)
 
-let count ?node ~tag t = List.length (find ?node ~tag t)
+let count ?node ~tag t =
+  match lookup ?node ~tag t with
+  | Some v -> Ivec.length v
+  | None -> t.len
 
 let last ?node ?tag t =
-  List.find_opt (matches ?node ?tag) t.rev_entries
+  match lookup ?node ?tag t with
+  | None -> if t.len = 0 then None else Some t.store.(t.len - 1)
+  | Some v ->
+    let n = Ivec.length v in
+    if n = 0 then None else Some t.store.(Ivec.get v (n - 1))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_entry_json ?(extra = []) buf e =
+  Buffer.add_string buf "{\"t_us\":";
+  Buffer.add_string buf (Int64.to_string (Vtime.to_us e.time));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_json_string buf v)
+    extra;
+  Buffer.add_string buf ",\"node\":";
+  add_json_string buf e.node;
+  Buffer.add_string buf ",\"tag\":";
+  add_json_string buf e.tag;
+  Buffer.add_string buf ",\"detail\":";
+  add_json_string buf e.detail;
+  (match e.fields with
+   | [] -> ()
+   | fields ->
+     Buffer.add_string buf ",\"fields\":{";
+     List.iteri
+       (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         add_json_string buf k;
+         Buffer.add_char buf ':';
+         add_json_string buf v)
+       fields;
+     Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let entry_to_json ?extra e =
+  let buf = Buffer.create 128 in
+  add_entry_json ?extra buf e;
+  Buffer.contents buf
+
+let to_jsonl ?extra ?node ?tag t =
+  let buf = Buffer.create (256 * (t.len + 1)) in
+  iter ?node ?tag
+    (fun e ->
+      add_entry_json ?extra buf e;
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let output_jsonl ?extra ?node ?tag oc t =
+  let buf = Buffer.create 256 in
+  iter ?node ?tag
+    (fun e ->
+      Buffer.clear buf;
+      add_entry_json ?extra buf e;
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer oc buf)
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                    *)
+(* ------------------------------------------------------------------ *)
 
 let pp_entry ppf e =
-  Format.fprintf ppf "[%a] %-12s %-24s %s" Vtime.pp e.time e.node e.tag e.detail
+  Format.fprintf ppf "[%a] %-12s %-24s %s" Vtime.pp e.time e.node e.tag e.detail;
+  match e.fields with
+  | [] -> ()
+  | fields ->
+    Format.fprintf ppf " {%s}"
+      (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) fields))
 
 let dump ppf t =
-  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)
+  iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) t

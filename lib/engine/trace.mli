@@ -3,20 +3,33 @@
     Every experiment in the paper reduces to "the receive filter script
     logged each packet with a timestamp".  [Trace.t] is that log: a flat,
     append-only sequence of timestamped entries that analysis code queries
-    after the run. *)
+    after the run.
+
+    Entries live in a growable array; node and tag strings are interned
+    and every entry offset is indexed per node, per tag, and per
+    [(node, tag)] pair, so {!find}, {!count}, {!timestamps}, {!intervals}
+    and {!last} cost O(matches) rather than a scan of the whole log.
+    Alongside the rendered [detail] string an entry may carry structured
+    key/value [fields], which the JSONL exporter preserves so campaign
+    artifacts can be compared mechanically. *)
 
 type entry = {
   time : Vtime.t;
   node : string;  (** which participant recorded the entry *)
   tag : string;   (** category, e.g. ["tcp.retransmit"] or ["gmp.commit"] *)
   detail : string;
+  fields : (string * string) list;
+      (** optional structured payload; empty for plain entries *)
 }
 
 type t
 
 val create : unit -> t
 
-val record : t -> time:Vtime.t -> node:string -> tag:string -> string -> unit
+val record :
+  ?fields:(string * string) list ->
+  t -> time:Vtime.t -> node:string -> tag:string -> string -> unit
+(** Appends an entry.  [fields] defaults to none. *)
 
 val clear : t -> unit
 
@@ -26,7 +39,11 @@ val entries : t -> entry list
 val length : t -> int
 
 val find : ?node:string -> ?tag:string -> t -> entry list
-(** Entries matching all the given criteria, in recording order. *)
+(** Entries matching all the given criteria, in recording order.
+    An index lookup: O(matches). *)
+
+val iter : ?node:string -> ?tag:string -> (entry -> unit) -> t -> unit
+(** Like {!find} without materialising the list. *)
 
 val timestamps : ?node:string -> tag:string -> t -> Vtime.t list
 
@@ -35,8 +52,37 @@ val intervals : ?node:string -> tag:string -> t -> Vtime.t list
     exactly what the retransmission-interval tables report. *)
 
 val count : ?node:string -> tag:string -> t -> int
+(** O(1): the length of the index bucket. *)
 
 val last : ?node:string -> ?tag:string -> t -> entry option
+(** O(1): the tail of the index bucket. *)
+
+(** {1 JSONL export}
+
+    One JSON object per entry, one per line:
+    [{"t_us":<int>, "node":"...", "tag":"...", "detail":"...",
+      "fields":{"k":"v", ...}}]
+    ["fields"] is omitted when the entry has none.  [extra] key/value
+    pairs (e.g. a run or artifact id) are spliced into every object,
+    right after ["t_us"].  Escaping is self-contained — no JSON library
+    is involved. *)
+
+val add_json_string : Buffer.t -> string -> unit
+(** Appends a quoted, escaped JSON string literal to [buf] — the same
+    escaper the exporter uses, shared so other JSON emitters in the
+    repo agree on escaping. *)
+
+val entry_to_json : ?extra:(string * string) list -> entry -> string
+
+val to_jsonl :
+  ?extra:(string * string) list -> ?node:string -> ?tag:string -> t -> string
+(** Every (matching) entry, each line terminated by ['\n']. *)
+
+val output_jsonl :
+  ?extra:(string * string) list -> ?node:string -> ?tag:string ->
+  out_channel -> t -> unit
+
+(** {1 Pretty printing} *)
 
 val pp_entry : Format.formatter -> entry -> unit
 

@@ -79,6 +79,40 @@ let to_string t = Format.asprintf "%a" render t
 let print t = render Format.std_formatter t
 
 (* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let js = Pfi_engine.Trace.add_json_string
+
+let add_string_array buf xs =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      js buf s)
+    xs;
+  Buffer.add_char buf ']'
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"id\":";
+  js buf t.id;
+  Buffer.add_string buf ",\"title\":";
+  js buf t.title;
+  Buffer.add_string buf ",\"header\":";
+  add_string_array buf t.header;
+  Buffer.add_string buf ",\"rows\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_string_array buf row)
+    t.rows;
+  Buffer.add_string buf "],\"notes\":";
+  add_string_array buf t.notes;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Figures                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -114,3 +148,30 @@ let render_figure ppf f =
     f.series
 
 let print_figure f = render_figure Format.std_formatter f
+
+let figure_to_json f =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"id\":";
+  js buf f.fig_id;
+  Buffer.add_string buf ",\"title\":";
+  js buf f.fig_title;
+  Buffer.add_string buf ",\"x_label\":";
+  js buf f.x_label;
+  Buffer.add_string buf ",\"y_label\":";
+  js buf f.y_label;
+  Buffer.add_string buf ",\"series\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"label\":";
+      js buf s.series_label;
+      Buffer.add_string buf ",\"points\":[";
+      List.iteri
+        (fun j (x, y) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "[%.6g,%.6g]" x y))
+        s.points;
+      Buffer.add_string buf "]}")
+    f.series;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -20,6 +20,11 @@ val to_string : t -> string
 val print : t -> unit
 (** Renders to stdout. *)
 
+val to_json : t -> string
+(** The table as one self-contained JSON object:
+    [{"id":..., "title":..., "header":[...], "rows":[[...],...],
+      "notes":[...]}].  All cells are strings, exactly as rendered. *)
+
 (** {1 Figures} *)
 
 type series = {
@@ -41,3 +46,7 @@ val render_figure : Format.formatter -> figure -> unit
     Figure 4 shows. *)
 
 val print_figure : figure -> unit
+
+val figure_to_json : figure -> string
+(** The figure as one JSON object with a [series] array of
+    [{"label":..., "points":[[x,y],...]}] objects. *)

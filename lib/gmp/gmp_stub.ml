@@ -90,12 +90,25 @@ let generate args =
      | None -> ());
     Some msg
 
+let fields msg =
+  match parse msg with
+  | `Malformed -> []
+  | `Rel_ack seq -> [ ("type", "RACK"); ("relseq", string_of_int seq) ]
+  | `Gmp m ->
+    [ ("type", Gmp_msg.mtype_to_string m.Gmp_msg.mtype);
+      ("origin", string_of_int m.Gmp_msg.origin);
+      ("sender", string_of_int m.Gmp_msg.sender);
+      ("gid", string_of_int m.Gmp_msg.group_id);
+      ("subject", string_of_int m.Gmp_msg.subject);
+      ("members", String.concat "," (List.map string_of_int m.Gmp_msg.members)) ]
+
 let stub =
   { Pfi_core.Stubs.protocol = "gmp";
     msg_type;
     describe;
     get_field;
     set_field;
-    generate }
+    generate;
+    fields }
 
 let register () = Pfi_core.Stubs.register stub

@@ -10,8 +10,13 @@ type event = {
   label : string;
 }
 
-(* detail format written by Network: "dst=<dst> arrival=<us|-> | <label>" *)
-let parse_entry (e : Trace.entry) =
+let parse_arrival = function
+  | Some "-" | None -> None
+  | Some us -> Option.map Vtime.us (int_of_string_opt us)
+
+(* legacy detail format written by Network before structured fields:
+   "dst=<dst> arrival=<us|-> | <label>" *)
+let parse_detail (e : Trace.entry) =
   match String.index_opt e.Trace.detail '|' with
   | None -> None
   | Some bar ->
@@ -34,15 +39,27 @@ let parse_entry (e : Trace.entry) =
     (match List.assoc_opt "dst" fields with
      | None -> None
      | Some dst ->
-       let arrival =
-         match List.assoc_opt "arrival" fields with
-         | Some "-" | None -> None
-         | Some us -> Option.map Vtime.us (int_of_string_opt us)
-       in
+       let arrival = parse_arrival (List.assoc_opt "arrival" fields) in
        Some { time = e.Trace.time; arrival; src = e.Trace.node; dst; label })
+
+(* entries recorded by Trace v2 carry the same data as structured
+   fields, which take precedence over the rendered detail string *)
+let parse_entry (e : Trace.entry) =
+  match List.assoc_opt "dst" e.Trace.fields with
+  | Some dst ->
+    Some
+      { time = e.Trace.time;
+        arrival = parse_arrival (List.assoc_opt "arrival" e.Trace.fields);
+        src = e.Trace.node;
+        dst;
+        label = Option.value (List.assoc_opt "label" e.Trace.fields) ~default:"" }
+  | None -> parse_detail e
 
 let events ?between trace =
   let all = List.filter_map parse_entry (Trace.find ~tag:"msc" trace) in
+  (* delivered transmissions are recorded when they land, so the raw
+     trace order is arrival order; the ladder reads in send order *)
+  let all = List.stable_sort (fun a b -> Vtime.compare a.time b.time) all in
   match between with
   | None -> all
   | Some nodes ->

@@ -65,12 +65,16 @@ let dropped_count t = t.dropped
 let set_trace_enabled t flag = t.trace_enabled <- flag
 let set_msc_enabled t flag = t.msc_enabled <- flag
 
-let trace t ~node ~tag detail =
-  if t.trace_enabled then Sim.record t.sim ~node ~tag detail
+let trace ?fields t ~node ~tag detail =
+  if t.trace_enabled then Sim.record ?fields t.sim ~node ~tag detail
 
-(* one entry per transmission, carrying everything the MSC renderer
-   needs (see Msc.parse_entry for the format) *)
-let msc_record t ~src ~dst ~arrival msg =
+(* One entry per transmission, carrying everything the MSC renderer
+   needs (see Msc.parse_entry for the format).  [time] is the send
+   time: deliveries record their entry from inside the delivery
+   callback (so an in-flight unplug is rendered as a drop, not an
+   arrival), which is why the stamp is passed explicitly rather than
+   read from the clock. *)
+let msc_record t ~time ~src ~dst ~arrival msg =
   if t.msc_enabled then begin
     let label =
       match Message.get_attr msg "msc.label" with
@@ -82,7 +86,8 @@ let msc_record t ~src ~dst ~arrival msg =
       | Some time -> Int64.to_string (Vtime.to_us time)
       | None -> "-"
     in
-    Sim.record t.sim ~node:src ~tag:"msc"
+    Trace.record (Sim.trace t.sim) ~time ~node:src ~tag:"msc"
+      ~fields:[ ("dst", dst); ("arrival", arrival); ("label", label) ]
       (Printf.sprintf "dst=%s arrival=%s | %s" dst arrival label)
   end
 
@@ -111,16 +116,24 @@ let latency t ~src ~dst =
     let j = Rng.float t.rng (Vtime.to_sec_f span) in
     Vtime.add base (Vtime.of_sec_f j)
 
-let drop t ~src ~dst msg reason =
+(* [sent_at] defaults to now; delivery-time drops pass the original send
+   time so the MSC entry lines up with the transmission it records. *)
+let drop ?sent_at t ~src ~dst msg reason =
   t.dropped <- t.dropped + 1;
-  msc_record t ~src ~dst ~arrival:None msg;
+  let sent_at = match sent_at with Some time -> time | None -> Sim.now t.sim in
+  msc_record t ~time:sent_at ~src ~dst ~arrival:None msg;
   trace t ~node:src ~tag:"net.drop"
+    ~fields:
+      [ ("src", src); ("dst", dst);
+        ("len", string_of_int (Message.length msg)); ("reason", reason) ]
     (Printf.sprintf "to=%s reason=%s %s" dst reason (Message.hex ~max_bytes:8 msg))
 
 (* Transmit one copy of [msg] from [src] to the single node [dst]. *)
 let transmit t ~src ~dst msg =
   t.sent <- t.sent + 1;
   trace t ~node:src ~tag:"net.send"
+    ~fields:
+      [ ("src", src); ("dst", dst); ("len", string_of_int (Message.length msg)) ]
     (Printf.sprintf "to=%s len=%d" dst (Message.length msg));
   if Hashtbl.mem t.unplugged src then drop t ~src ~dst msg "src-unplugged"
   else if Hashtbl.mem t.unplugged dst then drop t ~src ~dst msg "dst-unplugged"
@@ -138,16 +151,23 @@ let transmit t ~src ~dst msg =
       | None -> drop t ~src ~dst msg "no-such-node"
       | Some device ->
         let delay = latency t ~src ~dst in
-        msc_record t ~src ~dst ~arrival:(Some (Vtime.add (Sim.now t.sim) delay)) msg;
+        let sent_at = Sim.now t.sim in
+        let arrival = Vtime.add sent_at delay in
         ignore
           (Sim.schedule t.sim ~delay (fun () ->
-               (* the destination may have been unplugged in flight *)
+               (* the destination may have been unplugged in flight; the
+                  MSC entry is only recorded here, once the outcome is
+                  known, so dropped deliveries never render an arrow *)
                if Hashtbl.mem t.unplugged dst then
-                 drop t ~src ~dst msg "dst-unplugged"
+                 drop t ~sent_at ~src ~dst msg "dst-unplugged"
                else begin
                  t.delivered <- t.delivered + 1;
+                 msc_record t ~time:sent_at ~src ~dst ~arrival:(Some arrival) msg;
                  Message.set_attr msg src_attr src;
                  trace t ~node:dst ~tag:"net.deliver"
+                   ~fields:
+                     [ ("src", src); ("dst", dst);
+                       ("len", string_of_int (Message.length msg)) ]
                    (Printf.sprintf "from=%s len=%d" src (Message.length msg));
                  Layer.deliver_up device msg
                end))

@@ -85,12 +85,22 @@ let generate args =
      | None -> ());
     Some msg
 
+let fields msg =
+  with_segment msg ~default:[] (fun seg ->
+      [ ("kind", Segment.kind seg);
+        ("flags", flags_string seg.Segment.flags);
+        ("seq", string_of_int seg.Segment.seq);
+        ("ack", string_of_int seg.Segment.ack);
+        ("window", string_of_int seg.Segment.window);
+        ("len", string_of_int (Segment.len seg)) ])
+
 let stub =
   { Pfi_core.Stubs.protocol = "tcp";
     msg_type;
     describe;
     get_field;
     set_field;
-    generate }
+    generate;
+    fields }
 
 let register () = Pfi_core.Stubs.register stub

@@ -54,7 +54,8 @@ let tagged_stub =
       (fun args ->
         match List.assoc_opt "body" args with
         | Some body -> Some (Message.of_string body)
-        | None -> None) }
+        | None -> None);
+    fields = (fun msg -> [ ("len", string_of_int (Message.length msg)) ]) }
 
 (* ------------------------------------------------------------------ *)
 (* Pass-through and basic verdicts                                    *)
@@ -102,6 +103,43 @@ let test_script_duplicate () =
   Sim.run sim;
   Alcotest.(check (list string)) "original + 2 dups"
     [ "echo"; "echo"; "echo" ] (received_texts b)
+
+let test_dup_delivers_original_first () =
+  (* the original must be the first arrival; copies follow it.  A sink
+     layer below the PFI records physical message identity, which the
+     network would not preserve. *)
+  let sim = Sim.create ~seed:1L () in
+  let pfi = Pfi_layer.create ~sim ~node:"n" () in
+  let seen = ref [] in
+  let sink =
+    Layer.create ~name:"sink" ~node:"n"
+      { on_push = (fun _ msg -> seen := msg :: !seen); on_pop = (fun _ _ -> ()) }
+  in
+  Layer.link ~upper:(Pfi_layer.layer pfi) ~lower:sink;
+  Pfi_layer.set_send_filter pfi "xDup cur_msg 2";
+  let msg = Message.of_string "orig" in
+  Layer.push (Pfi_layer.layer pfi) msg;
+  Sim.run sim;
+  match List.rev !seen with
+  | [ first; c1; c2 ] ->
+    Alcotest.(check bool) "original delivered first" true (first == msg);
+    Alcotest.(check bool) "copies are fresh messages" true (c1 != msg && c2 != msg)
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 deliveries, got %d" (List.length l))
+
+let test_dup_survives_dropped_original () =
+  (* duplicating then dropping keeps the copies travelling but accounts
+     for them as orphans, distinct from duplicates of a delivered
+     original *)
+  let sim, _net, a, b = setup () in
+  Pfi_layer.set_send_filter a.pfi "xDup cur_msg 2\nxDrop cur_msg";
+  send a ~dst:"b" "ghost";
+  Sim.run sim;
+  Alcotest.(check (list string)) "copies travel" [ "ghost"; "ghost" ] (received_texts b);
+  let s = Pfi_layer.send_stats a.pfi in
+  Alcotest.(check int) "dropped" 1 s.Pfi_layer.dropped;
+  Alcotest.(check int) "duplicated" 2 s.Pfi_layer.duplicated;
+  Alcotest.(check int) "orphans" 2 s.Pfi_layer.dup_orphans;
+  Alcotest.(check int) "not passed" 0 s.Pfi_layer.passed
 
 let test_script_corrupt () =
   let sim, _net, a, b = setup () in
@@ -422,6 +460,48 @@ let contains_substring haystack needle =
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
   nl = 0 || go 0
 
+(* ------------------------------------------------------------------ *)
+(* Structured observability                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_verdict_tracing () =
+  let sim, _net, a, b = setup ~stub:tagged_stub () in
+  Pfi_layer.set_trace_verdicts a.pfi true;
+  Pfi_layer.set_send_filter a.pfi
+    {|
+if {[msg_type cur_msg] == "ACK"} { xDrop cur_msg }
+|};
+  send a ~dst:"b" "A:ack";
+  send a ~dst:"b" "D:data";
+  Sim.run sim;
+  ignore (received_texts b);
+  match Trace.find ~node:"a" ~tag:"pfi.verdict" (Sim.trace sim) with
+  | [ dropped; passed ] ->
+    let field e k = Option.value (List.assoc_opt k e.Trace.fields) ~default:"?" in
+    Alcotest.(check string) "dir" "send" (field dropped "dir");
+    Alcotest.(check string) "dropped verdict" "drop" (field dropped "verdict");
+    Alcotest.(check string) "dropped type" "ACK" (field dropped "type");
+    Alcotest.(check string) "passed verdict" "pass" (field passed "verdict");
+    Alcotest.(check string) "passed type" "DATA" (field passed "type")
+  | evs ->
+    Alcotest.fail (Printf.sprintf "expected two verdict events, got %d" (List.length evs))
+
+let test_stats_snapshot () =
+  let sim, _net, a, b = setup () in
+  Pfi_layer.set_send_filter a.pfi "xDup cur_msg 1";
+  send a ~dst:"b" "x";
+  Sim.run sim;
+  ignore (received_texts b);
+  Pfi_layer.record_stats_snapshot a.pfi;
+  match Trace.last ~node:"a" ~tag:"pfi.stats" (Sim.trace sim) with
+  | None -> Alcotest.fail "expected a pfi.stats entry"
+  | Some e ->
+    let field k = Option.value (List.assoc_opt k e.Trace.fields) ~default:"?" in
+    Alcotest.(check string) "send.passed" "1" (field "send.passed");
+    Alcotest.(check string) "send.duplicated" "1" (field "send.duplicated");
+    Alcotest.(check string) "send.dup_orphans" "0" (field "send.dup_orphans");
+    Alcotest.(check string) "recv.passed" "0" (field "recv.passed")
+
 let test_script_error_fails_loudly () =
   let sim, _net, a, _b = setup () in
   Pfi_layer.set_send_filter a.pfi "this_command_does_not_exist";
@@ -440,6 +520,10 @@ let suite =
     Alcotest.test_case "script drop (receive)" `Quick test_receive_filter_drop;
     Alcotest.test_case "script delay" `Quick test_script_delay;
     Alcotest.test_case "script duplicate" `Quick test_script_duplicate;
+    Alcotest.test_case "duplicate delivers original first" `Quick
+      test_dup_delivers_original_first;
+    Alcotest.test_case "duplicates survive dropped original" `Quick
+      test_dup_survives_dropped_original;
     Alcotest.test_case "script corrupt" `Quick test_script_corrupt;
     Alcotest.test_case "drop by message type" `Quick test_drop_by_type;
     Alcotest.test_case "filter state persists" `Quick test_counting_state_persists;
@@ -462,5 +546,7 @@ let suite =
     Alcotest.test_case "timing model" `Quick test_timing_model;
     Alcotest.test_case "byzantine duplicates" `Quick test_byzantine_duplicates;
     Alcotest.test_case "severity order" `Quick test_severity_order;
+    Alcotest.test_case "verdict tracing" `Quick test_verdict_tracing;
+    Alcotest.test_case "stats snapshot" `Quick test_stats_snapshot;
     Alcotest.test_case "script errors fail loudly" `Quick test_script_error_fails_loudly;
   ]

@@ -83,6 +83,33 @@ let test_rng_normal_moments () =
   Alcotest.(check bool) "mean near 5" true (abs_float (mean -. 5.0) < 0.1);
   Alcotest.(check bool) "std near 2" true (abs_float (sqrt var -. 2.0) < 0.1)
 
+(* [Rng.int] uses rejection sampling, so small bounds that don't divide
+   the generator's range evenly must still come out uniform.  With a
+   fixed seed this is a deterministic regression test: a plain
+   [bits mod 7] passes too, but the chi-square statistic guards against
+   reintroducing a grossly biased mapping. *)
+let test_rng_int_uniform () =
+  let r = Rng.create ~seed:5L in
+  let bound = 7 in
+  let n = 70_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to n do
+    let v = Rng.int r bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int n /. float_of_int bound in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 counts
+  in
+  (* 6 degrees of freedom: p = 0.001 critical value is 22.46 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "chi-square %.2f under 22.46" chi2)
+    true (chi2 < 22.46)
+
 let test_rng_bernoulli () =
   let r = Rng.create ~seed:11L in
   let n = 20_000 in
@@ -185,6 +212,44 @@ let prop_queue_cancel_subset =
       let popped = drain [] in
       List.for_all (fun (_, cancelled) -> not cancelled) popped
       && List.length popped = List.length !keep)
+
+(* Cancelling most of a large queue must shrink its physical footprint:
+   a periodic arm/cancel pattern (every retransmission timer that gets
+   re-armed before firing) would otherwise accumulate cancelled entries
+   without bound. *)
+let test_queue_cancel_compacts () =
+  let q = Event_queue.create () in
+  let max_physical = ref 0 in
+  for round = 0 to 99 do
+    let handles =
+      List.init 100 (fun i ->
+          Event_queue.push q ~time:(Vtime.us ((round * 100) + i)) i)
+    in
+    (* cancel everything; a long-lived queue never fires these *)
+    List.iter (fun h -> Event_queue.cancel q h) handles;
+    max_physical := max !max_physical (Event_queue.physical_size q)
+  done;
+  Alcotest.(check int) "no live events" 0 (Event_queue.size q);
+  (* 10_000 events were pushed and cancelled; without compaction the
+     physical size ends at 10_000 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "physical size stays bounded (max %d)" !max_physical)
+    true (!max_physical <= 256)
+
+let test_queue_compact_preserves_order () =
+  let q = Event_queue.create () in
+  (* enough entries to cross the compaction threshold *)
+  let handles =
+    List.init 200 (fun i -> (i, Event_queue.push q ~time:(Vtime.us (1000 - i)) i))
+  in
+  (* cancel the odd ones; triggers compaction part-way *)
+  List.iter (fun (i, h) -> if i mod 2 = 1 then Event_queue.cancel q h) handles;
+  let rec drain acc =
+    match Event_queue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+  in
+  let popped = drain [] in
+  let expected = List.init 100 (fun i -> 198 - (2 * i)) in
+  Alcotest.(check (list int)) "survivors pop in time order" expected popped
 
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                *)
@@ -333,6 +398,89 @@ let test_trace_queries () =
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (Trace.length tr)
 
+let test_trace_fields_roundtrip () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:(Vtime.sec 1) ~node:"a" ~tag:"net.send"
+    ~fields:[ ("dst", "b"); ("len", "5") ]
+    "a -> b";
+  Trace.record tr ~time:(Vtime.sec 2) ~node:"a" ~tag:"plain" "no fields";
+  (match Trace.find ~tag:"net.send" tr with
+   | [ e ] ->
+     Alcotest.(check (list (pair string string)))
+       "fields preserved" [ ("dst", "b"); ("len", "5") ] e.Trace.fields
+   | _ -> Alcotest.fail "expected one net.send entry");
+  match Trace.find ~tag:"plain" tr with
+  | [ e ] -> Alcotest.(check (list (pair string string))) "no fields" [] e.Trace.fields
+  | _ -> Alcotest.fail "expected one plain entry"
+
+let test_trace_jsonl () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:(Vtime.us 7) ~node:"n" ~tag:"t" "plain";
+  Trace.record tr ~time:(Vtime.ms 1) ~node:"n" ~tag:"t"
+    ~fields:[ ("k", "v") ]
+    "quote \" backslash \\ newline \n tab \t bell \x07 done";
+  let lines = String.split_on_char '\n' (Trace.to_jsonl tr) in
+  Alcotest.(check (list string)) "exact serialisation"
+    [ {|{"t_us":7,"node":"n","tag":"t","detail":"plain"}|};
+      {|{"t_us":1000,"node":"n","tag":"t","detail":"quote \" backslash \\ newline \n tab \t bell \u0007 done","fields":{"k":"v"}}|};
+      "" ]
+    lines;
+  let with_extra =
+    Trace.entry_to_json ~extra:[ ("run", "r1") ]
+      { Trace.time = Vtime.us 3; node = "n"; tag = "t"; detail = "d"; fields = [] }
+  in
+  Alcotest.(check string) "extra pairs after t_us"
+    {|{"t_us":3,"run":"r1","node":"n","tag":"t","detail":"d"}|} with_extra
+
+(* the indexed queries must agree with a naive scan of the full log *)
+let prop_trace_index_matches_scan =
+  let gen_entry =
+    QCheck.Gen.(
+      triple (int_bound 4) (int_bound 6) (int_bound 10_000))
+  in
+  QCheck.Test.make ~name:"trace index agrees with naive scan" ~count:100
+    QCheck.(
+      make
+        ~print:(fun l ->
+          String.concat ";"
+            (List.map (fun (n, g, t) -> Printf.sprintf "(%d,%d,%d)" n g t) l))
+        (Gen.list_size (Gen.int_bound 200) gen_entry))
+    (fun entries ->
+      let tr = Trace.create () in
+      List.iteri
+        (fun i (n, g, t) ->
+          Trace.record tr ~time:(Vtime.us t)
+            ~node:(Printf.sprintf "n%d" n)
+            ~tag:(Printf.sprintf "g%d" g)
+            (string_of_int i))
+        entries;
+      let all = Trace.entries tr in
+      let scan ?node ?tag () =
+        List.filter
+          (fun e ->
+            (match node with Some n -> String.equal e.Trace.node n | None -> true)
+            && match tag with Some g -> String.equal e.Trace.tag g | None -> true)
+          all
+      in
+      let queries =
+        [ (None, None); (Some "n0", None); (None, Some "g3");
+          (Some "n1", Some "g0"); (Some "n2", Some "g6"); (Some "nope", Some "g1") ]
+      in
+      List.for_all
+        (fun (node, tag) ->
+          let indexed = Trace.find ?node ?tag tr in
+          let scanned = scan ?node ?tag () in
+          indexed = scanned
+          && (match tag with
+              | Some tag -> Trace.count ?node ~tag tr = List.length scanned
+              | None -> true)
+          &&
+          match (Trace.last ?node ?tag tr, List.rev scanned) with
+          | None, [] -> true
+          | Some e, e' :: _ -> e == e'
+          | _ -> false)
+        queries)
+
 let suite =
   [
     Alcotest.test_case "vtime constructors" `Quick test_vtime_constructors;
@@ -343,12 +491,15 @@ let suite =
     Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
     Alcotest.test_case "rng draw bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng normal moments" `Quick test_rng_normal_moments;
+    Alcotest.test_case "rng int uniformity" `Quick test_rng_int_uniform;
     Alcotest.test_case "rng bernoulli rate" `Quick test_rng_bernoulli;
     Alcotest.test_case "queue pops sorted" `Quick test_queue_order;
     Alcotest.test_case "queue fifo at equal times" `Quick test_queue_fifo_ties;
     Alcotest.test_case "queue cancel" `Quick test_queue_cancel;
     Alcotest.test_case "queue cancel after pop" `Quick test_queue_cancel_after_pop;
     Alcotest.test_case "queue peek" `Quick test_queue_peek;
+    Alcotest.test_case "queue cancel compacts storage" `Quick test_queue_cancel_compacts;
+    Alcotest.test_case "queue compaction keeps order" `Quick test_queue_compact_preserves_order;
     QCheck_alcotest.to_alcotest prop_queue_sorted;
     QCheck_alcotest.to_alcotest prop_queue_cancel_subset;
     Alcotest.test_case "sim clock advances" `Quick test_sim_clock_advances;
@@ -363,4 +514,7 @@ let suite =
     Alcotest.test_case "timer periodic" `Quick test_timer_periodic;
     Alcotest.test_case "timer deadline and remaining" `Quick test_timer_deadline_remaining;
     Alcotest.test_case "trace queries" `Quick test_trace_queries;
+    Alcotest.test_case "trace fields roundtrip" `Quick test_trace_fields_roundtrip;
+    Alcotest.test_case "trace jsonl export" `Quick test_trace_jsonl;
+    QCheck_alcotest.to_alcotest prop_trace_index_matches_scan;
   ]

@@ -262,8 +262,31 @@ let test_ablation_counter () =
   Alcotest.(check int) "per-segment: m2 gets the full budget" 9
     m.Ablations.per_segment_m2_retries
 
+(* --- JSON rendering ------------------------------------------------ *)
+
+let test_report_to_json () =
+  let table =
+    Report.make ~id:"Table 0" ~title:{|quote " and \ slash|}
+      ~header:[ "a"; "b" ]
+      ~notes:[ "note
+with newline" ]
+      [ [ "r1c1"; "r1c2" ]; [ "r2c1"; "r2c2" ] ]
+  in
+  Alcotest.(check string) "escaped, self-contained object"
+    ({|{"id":"Table 0","title":"quote \" and \\ slash","header":["a","b"],|}
+    ^ {|"rows":[["r1c1","r1c2"],["r2c1","r2c2"]],"notes":["note\nwith newline"]}|})
+    (Report.to_json table);
+  let fig =
+    { Report.fig_id = "Figure 0"; fig_title = "t"; x_label = "x"; y_label = "y";
+      series = [ { Report.series_label = "s"; points = [ (1.0, 2.5); (2.0, 64.0) ] } ] }
+  in
+  Alcotest.(check string) "figure json"
+    {|{"id":"Figure 0","title":"t","x_label":"x","y_label":"y","series":[{"label":"s","points":[[1,2.5],[2,64]]}]}|}
+    (Report.figure_to_json fig)
+
 let suite =
   [
+    Alcotest.test_case "report to_json" `Quick test_report_to_json;
     Alcotest.test_case "table1: BSD vendors" `Slow test_table1_bsd;
     Alcotest.test_case "table1: Solaris" `Slow test_table1_solaris;
     Alcotest.test_case "table2: BSD adaptation (6.5/8/5 s)" `Slow test_table2_adaptation;

@@ -124,6 +124,45 @@ let test_unplug_in_flight () =
   Sim.run sim;
   Alcotest.(check (list string)) "lost in flight" [] (received_texts (ep "b"))
 
+let test_msc_in_flight_unplug_marks_lost () =
+  (* the MSC must not claim an arrival for a message whose destination
+     unplugged while it was on the wire — the delivery outcome is only
+     known when the wire event fires *)
+  let sim, net, ep = setup () in
+  Network.set_msc_enabled net true;
+  Network.set_latency net ~src:"a" ~dst:"b" (Vtime.ms 100);
+  send (ep "a") ~dst:"b" "doomed";
+  ignore (Sim.schedule sim ~delay:(Vtime.ms 50) (fun () -> Network.unplug net "b"));
+  Sim.run sim;
+  match Msc.events (Sim.trace sim) with
+  | [ e ] ->
+    Alcotest.(check string) "src" "a" e.Msc.src;
+    Alcotest.(check string) "dst" "b" e.Msc.dst;
+    Alcotest.(check bool) "lost in flight, no arrival" true (e.Msc.arrival = None);
+    Alcotest.(check bool) "stamped at send time" true (Vtime.equal e.Msc.time Vtime.zero)
+  | evs ->
+    Alcotest.fail (Printf.sprintf "expected one msc event, got %d" (List.length evs))
+
+let test_msc_events_in_send_order () =
+  (* deliveries are recorded when they land; the ladder must still read
+     in send order even when a later message overtakes an earlier one *)
+  let sim, net, ep = setup () in
+  Network.set_msc_enabled net true;
+  Network.set_latency net ~src:"a" ~dst:"b" (Vtime.ms 100);
+  Network.set_latency net ~src:"a" ~dst:"c" (Vtime.ms 10);
+  send (ep "a") ~dst:"b" "slow";
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.ms 20) (fun () -> send (ep "a") ~dst:"c" "fast"));
+  Sim.run sim;
+  match Msc.events (Sim.trace sim) with
+  | [ e1; e2 ] ->
+    Alcotest.(check string) "first by send time" "b" e1.Msc.dst;
+    Alcotest.(check string) "second by send time" "c" e2.Msc.dst;
+    Alcotest.(check bool) "slow arrival" true (e1.Msc.arrival = Some (Vtime.ms 100));
+    Alcotest.(check bool) "fast arrival" true (e2.Msc.arrival = Some (Vtime.ms 30))
+  | evs ->
+    Alcotest.fail (Printf.sprintf "expected two msc events, got %d" (List.length evs))
+
 let test_loss_rate () =
   let sim, net, ep = setup () in
   Network.set_loss net ~src:"a" ~dst:"b" 0.5;
@@ -169,6 +208,10 @@ let suite =
     Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
     Alcotest.test_case "unplug and replug" `Quick test_unplug_replug;
     Alcotest.test_case "unplug catches in-flight" `Quick test_unplug_in_flight;
+    Alcotest.test_case "msc: in-flight unplug shows no arrival" `Quick
+      test_msc_in_flight_unplug_marks_lost;
+    Alcotest.test_case "msc: events read in send order" `Quick
+      test_msc_events_in_send_order;
     Alcotest.test_case "probabilistic loss" `Quick test_loss_rate;
     Alcotest.test_case "statistics" `Quick test_stats;
     Alcotest.test_case "double attach fails" `Quick test_double_attach_fails;
