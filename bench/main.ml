@@ -174,6 +174,56 @@ let bench_trace_scan () =
       ignore (List.length matches);
       ignore matches)
 
+(* the shrink machinery itself (no simulations): candidate-lattice
+   enumeration for a compound fault, and a full greedy descent against a
+   synthetic always-violating oracle — the fixed overhead `pfi_run
+   shrink` pays on top of its trial re-runs *)
+let shrink_start =
+  let open Pfi_testgen in
+  { Shrink.fault = Generator.Byzantine_mix 0.25;
+    Shrink.side = Campaign.Both_filters;
+    Shrink.horizon = Pfi_engine.Vtime.sec 120 }
+
+let bench_shrink_candidates () =
+  Staged.stage (fun () ->
+      ignore (Pfi_testgen.Shrink.candidates ~spec:Pfi_testgen.Spec.abp shrink_start))
+
+let bench_shrink_descent () =
+  let open Pfi_testgen in
+  let run (st : Shrink.state) =
+    { Campaign.fault = st.Shrink.fault;
+      Campaign.side = st.Shrink.side;
+      Campaign.seed = 0L;
+      Campaign.verdict = Campaign.Violation "synthetic";
+      Campaign.injected_events = 0 }
+  in
+  Staged.stage (fun () ->
+      ignore (Shrink.minimize ~spec:Spec.abp ~run shrink_start))
+
+(* repro artifact encode+decode, the per-violation serialization cost *)
+let bench_repro_roundtrip () =
+  let open Pfi_testgen in
+  let fault = Generator.Byzantine_mix 0.25 in
+  let artifact =
+    { Repro.version = Repro.current_version;
+      Repro.harness = "abp-buggy";
+      Repro.protocol = "abp";
+      Repro.target = "bob";
+      Repro.fault;
+      Repro.side = Campaign.Both_filters;
+      Repro.horizon = Pfi_engine.Vtime.sec 120;
+      Repro.seed = 123456789L;
+      Repro.campaign_seed = 31L;
+      Repro.script = Generator.script_of_fault fault;
+      Repro.verdict = Campaign.Violation "delivered 18/20 messages";
+      Repro.injected_events = 39;
+      Repro.shrink_trajectory = [] }
+  in
+  Staged.stage (fun () ->
+      match Pfi_testgen.Repro.of_string (Pfi_testgen.Repro.to_json artifact) with
+      | Ok _ -> ()
+      | Error e -> failwith e)
+
 let micro_tests () =
   [ Test.make ~name:"script filter eval (per message)" (bench_script_filter ());
     Test.make ~name:"native filter (per message)" (bench_native_filter ());
@@ -185,7 +235,10 @@ let micro_tests () =
     Test.make ~name:"expr evaluation" (bench_expr ());
     Test.make ~name:"simulator: 10 events scheduled+run" (bench_sim_events ());
     Test.make ~name:"trace query, indexed (50k entries)" (bench_trace_indexed ());
-    Test.make ~name:"trace query, legacy scan (50k entries)" (bench_trace_scan ()) ]
+    Test.make ~name:"trace query, legacy scan (50k entries)" (bench_trace_scan ());
+    Test.make ~name:"shrink: candidate enumeration" (bench_shrink_candidates ());
+    Test.make ~name:"shrink: full descent, synthetic oracle" (bench_shrink_descent ());
+    Test.make ~name:"repro artifact json encode+decode" (bench_repro_roundtrip ()) ]
 
 let run_micro () =
   print_endline "\n== micro-benchmarks (Bechamel, ns/run via OLS) ==";

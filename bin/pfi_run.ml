@@ -6,7 +6,10 @@
                                    language, with a sample TCP segment bound)
    - `pfi-run msc`                 the paper's Section 4.1 ladder diagram
    - `pfi-run campaign <target>`   generated fault campaigns
-                                   (abp | abp-buggy | gmp | gmp-buggy) *)
+                                   (abp | abp-buggy | gmp | gmp-buggy);
+                                   --repro-dir writes an artifact per violation
+   - `pfi-run shrink <file>`       minimize a violating repro artifact
+   - `pfi-run replay <file>`       deterministically re-execute an artifact *)
 
 open Cmdliner
 open Pfi_experiments
@@ -224,37 +227,238 @@ let msc_cmd =
   in
   Cmd.v (Cmd.info "msc" ~doc) Term.(const msc $ const ())
 
-(* fault-injection campaigns from generated scripts *)
-let campaign which trace_out =
+(* ------------------------------------------------------------------ *)
+(* Fault-injection campaigns, repro artifacts, shrinking and replay   *)
+(* ------------------------------------------------------------------ *)
+
+let registry_entry which =
+  match Pfi_testgen.Registry.find which with
+  | Some entry -> entry
+  | None ->
+    Printf.eprintf "unknown harness %S (try one of: %s)\n" which
+      (String.concat ", " Pfi_testgen.Registry.names);
+    exit 1
+
+let mkdir_p dir =
+  let rec go dir =
+    if not (Sys.file_exists dir) then begin
+      go (Filename.dirname dir);
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+    end
+  in
+  go dir
+
+(* fault-injection campaigns from generated scripts; every violation
+   can be written out as a self-contained, replayable repro artifact *)
+let campaign which trace_out repro_dir seed =
   let open Pfi_testgen in
-  let print_abp ~bug =
-    let outcomes = Abp_harness.run_campaign ~bug_ignore_ack_bit:bug () in
-    print_string (Campaign.summary outcomes)
-  in
-  let print_gmp ~bugs =
-    match Gmp_harness.run_campaign ~bugs () with
-    | Ok outcomes -> print_string (Campaign.summary outcomes)
-    | Error reason ->
-      Printf.printf "the fault-free control trial already fails: %s\n" reason
-  in
+  let entry = registry_entry which in
+  let campaign_seed = Option.value seed ~default:entry.Registry.default_seed in
   with_trace_capture trace_out (fun flush ->
-      (match which with
-       | "abp" -> print_abp ~bug:false
-       | "abp-buggy" -> print_abp ~bug:true
-       | "gmp" -> print_gmp ~bugs:Pfi_gmp.Gmd.no_bugs
-       | "gmp-buggy" -> print_gmp ~bugs:Pfi_gmp.Gmd.all_bugs
-       | other ->
-         Printf.eprintf "unknown campaign %S (abp, abp-buggy, gmp, gmp-buggy)\n"
-           other;
-         exit 1);
+      (match entry.Registry.campaign ~seed:campaign_seed () with
+       | Error reason ->
+         Printf.printf "the fault-free control trial already fails: %s\n" reason
+       | Ok outcomes ->
+         print_string (Campaign.summary outcomes);
+         (match repro_dir with
+          | None -> ()
+          | Some dir ->
+            mkdir_p dir;
+            let bad = Campaign.violations outcomes in
+            List.iteri
+              (fun i outcome ->
+                let artifact =
+                  Repro.of_outcome ~harness:which
+                    ~protocol:entry.Registry.spec.Spec.protocol
+                    ~target:entry.Registry.target
+                    ~horizon:entry.Registry.default_horizon ~campaign_seed
+                    outcome
+                in
+                let path =
+                  Filename.concat dir (Repro.filename ~index:(i + 1) artifact)
+                in
+                Repro.save path artifact;
+                Printf.printf "repro artifact: %s\n" path)
+              bad;
+            if bad = [] then
+              Printf.printf "no violations — no repro artifacts written\n"));
       flush [ ("campaign", which) ])
 
 let campaign_cmd =
   let doc =
-    "Run a generated fault-injection campaign (abp | abp-buggy | gmp |      gmp-buggy)."
+    "Run a generated fault-injection campaign (abp | abp-buggy | gmp | \
+     gmp-buggy), optionally writing a replayable repro artifact per \
+     violation."
   in
   let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
-  Cmd.v (Cmd.info "campaign" ~doc) Term.(const campaign $ which $ trace_out_arg)
+  let repro_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write one JSON repro artifact per violating trial into $(docv) \
+             (created if missing).  Each artifact is self-contained: \
+             `pfi_run replay` re-executes it deterministically and `pfi_run \
+             shrink` minimizes it.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign seed per-trial seeds are derived from (defaults to the \
+             harness's stock seed).")
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(const campaign $ which $ trace_out_arg $ repro_dir $ seed)
+
+let load_artifact file =
+  match Pfi_testgen.Repro.load file with
+  | Ok artifact -> artifact
+  | Error reason ->
+    Printf.eprintf "cannot load repro artifact %s: %s\n" file reason;
+    exit 1
+
+let pp_verdict = function
+  | Pfi_testgen.Campaign.Tolerated -> "tolerated"
+  | Pfi_testgen.Campaign.Violation reason -> "VIOLATION: " ^ reason
+
+(* deterministic re-execution of a recorded trial: rebuild the recorded
+   harness with the recorded seed, install the recorded script bytes,
+   run to the recorded horizon, and require the recorded verdict *)
+let replay file trace_out =
+  let open Pfi_testgen in
+  let artifact = load_artifact file in
+  let entry = registry_entry artifact.Repro.harness in
+  with_trace_capture trace_out (fun flush ->
+      let outcome =
+        entry.Registry.trial ~side:artifact.Repro.side
+          ~horizon:artifact.Repro.horizon ~seed:artifact.Repro.seed
+          ~script:artifact.Repro.script artifact.Repro.fault
+      in
+      flush [ ("replay", Filename.basename file) ];
+      Printf.printf "replay %s\n  harness:  %s\n  fault:    %s\n  side:     %s\n"
+        file artifact.Repro.harness
+        (Generator.describe artifact.Repro.fault)
+        (Campaign.side_name artifact.Repro.side);
+      Printf.printf "  recorded: %s\n  observed: %s\n"
+        (pp_verdict artifact.Repro.verdict)
+        (pp_verdict outcome.Campaign.verdict);
+      if outcome.Campaign.verdict = artifact.Repro.verdict then
+        print_endline "  verdict reproduced"
+      else begin
+        print_endline "  VERDICT MISMATCH — the trial did not reproduce";
+        exit 1
+      end)
+
+let replay_cmd =
+  let doc =
+    "Deterministically re-execute a repro artifact and check that the \
+     recorded verdict reproduces (exit 1 on mismatch)."
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ file $ trace_out_arg)
+
+(* delta-debug a recorded violation down its parameter lattice and
+   write the minimized trial as a fresh artifact *)
+let shrink file out max_trials =
+  let open Pfi_testgen in
+  let artifact = load_artifact file in
+  let entry = registry_entry artifact.Repro.harness in
+  let run (st : Shrink.state) =
+    entry.Registry.trial ~side:st.Shrink.side ~horizon:st.Shrink.horizon
+      ~seed:
+        (Campaign.trial_seed ~campaign_seed:artifact.Repro.campaign_seed
+           ~side:st.Shrink.side st.Shrink.fault)
+      st.Shrink.fault
+  in
+  let st0 =
+    { Shrink.fault = artifact.Repro.fault;
+      Shrink.side = artifact.Repro.side;
+      Shrink.horizon = artifact.Repro.horizon }
+  in
+  match
+    Shrink.minimize ~max_trials ~spec:entry.Registry.spec ~run st0
+  with
+  | Error reason ->
+    Printf.eprintf "cannot shrink %s: %s\n" file reason;
+    exit 1
+  | Ok report ->
+    Printf.printf "shrink %s\n  start:     %-44s %-8s size %d\n" file
+      (Generator.describe artifact.Repro.fault)
+      (Campaign.side_name artifact.Repro.side)
+      report.Shrink.initial_size;
+    List.iter
+      (fun (step : Shrink.step) ->
+        Printf.printf "  shrunk to: %-44s %-8s size %d  (%s)\n"
+          (Generator.describe step.Shrink.state.Shrink.fault)
+          (Campaign.side_name step.Shrink.state.Shrink.side)
+          step.Shrink.step_size step.Shrink.reason)
+      report.Shrink.steps;
+    Printf.printf "  %d accepted steps, %d trials\n"
+      (List.length report.Shrink.steps)
+      report.Shrink.trials;
+    let minimized = report.Shrink.minimized in
+    let seed =
+      Campaign.trial_seed ~campaign_seed:artifact.Repro.campaign_seed
+        ~side:minimized.Shrink.side minimized.Shrink.fault
+    in
+    let trajectory =
+      List.map
+        (fun (step : Shrink.step) ->
+          { Repro.step_fault = step.Shrink.state.Shrink.fault;
+            Repro.step_side = step.Shrink.state.Shrink.side;
+            Repro.step_horizon = step.Shrink.state.Shrink.horizon;
+            Repro.step_seed =
+              Campaign.trial_seed ~campaign_seed:artifact.Repro.campaign_seed
+                ~side:step.Shrink.state.Shrink.side step.Shrink.state.Shrink.fault;
+            Repro.step_size = step.Shrink.step_size;
+            Repro.step_reason = step.Shrink.reason })
+        report.Shrink.steps
+    in
+    let shrunk =
+      { artifact with
+        Repro.fault = minimized.Shrink.fault;
+        Repro.side = minimized.Shrink.side;
+        Repro.horizon = minimized.Shrink.horizon;
+        Repro.seed;
+        Repro.script = Generator.script_of_fault minimized.Shrink.fault;
+        Repro.verdict = Campaign.Violation report.Shrink.final_reason;
+        Repro.shrink_trajectory = trajectory }
+    in
+    let out_path =
+      match out with
+      | Some p -> p
+      | None -> Filename.remove_extension file ^ ".min.json"
+    in
+    Repro.save out_path shrunk;
+    Printf.printf "  minimized artifact: %s\n" out_path
+
+let shrink_cmd =
+  let doc =
+    "Minimize a violating repro artifact by delta-debugging its fault down \
+     the parameter lattice; writes the smallest still-violating trial as a \
+     new artifact (FILE with a .min.json suffix unless $(b,-o) is given)."
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT"
+          ~doc:"Where to write the minimized artifact.")
+  in
+  let max_trials =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "max-trials" ] ~docv:"N"
+          ~doc:"Re-run budget for the minimizer.")
+  in
+  Cmd.v (Cmd.info "shrink" ~doc)
+    Term.(const shrink $ file $ out $ max_trials)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -264,4 +468,8 @@ let () =
     Cmd.info "pfi_run" ~version:"1.0.0"
       ~doc:"Script-driven probing and fault injection of protocol implementations"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd; repl_cmd; msc_cmd; campaign_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ list_cmd; run_cmd; repl_cmd; msc_cmd; campaign_cmd; shrink_cmd;
+            replay_cmd ]))

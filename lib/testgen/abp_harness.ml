@@ -12,8 +12,8 @@ type env = {
 
 let default_horizon = Vtime.sec 120
 
-let harness ?(message_count = 20) ?(bug_ignore_ack_bit = false) ?(seed = 31L) () =
-  let build () =
+let harness ?(message_count = 20) ?(bug_ignore_ack_bit = false) () =
+  let build ~seed =
     let sim = Sim.create ~seed () in
     let net = Network.create sim in
     let sender =
@@ -61,7 +61,7 @@ let harness ?(message_count = 20) ?(bug_ignore_ack_bit = false) ?(seed = 31L) ()
     Campaign.workload;
     Campaign.check }
 
-let run_campaign ?bug_ignore_ack_bit () =
-  Campaign.run
+let run_campaign ?bug_ignore_ack_bit ?seed () =
+  Campaign.run ?seed
     (harness ?bug_ignore_ack_bit ())
     ~spec:Spec.abp ~horizon:default_horizon ~target:"bob" ()

@@ -9,7 +9,7 @@
 type env
 
 val harness :
-  ?message_count:int -> ?bug_ignore_ack_bit:bool -> ?seed:int64 -> unit ->
+  ?message_count:int -> ?bug_ignore_ack_bit:bool -> unit ->
   env Campaign.harness
 
 val default_horizon : Pfi_engine.Vtime.t
@@ -17,6 +17,7 @@ val default_horizon : Pfi_engine.Vtime.t
     fault (120 s of virtual time). *)
 
 val run_campaign :
-  ?bug_ignore_ack_bit:bool -> unit -> Campaign.outcome list
+  ?bug_ignore_ack_bit:bool -> ?seed:int64 -> unit -> Campaign.outcome list
 (** The full generated campaign against ABP ({!Spec.abp}), both filter
-    sides. *)
+    sides.  [seed] is the campaign seed per-trial seeds are derived
+    from (default {!Campaign.default_seed}). *)

@@ -3,7 +3,7 @@ open Pfi_engine
 type side = Send_filter | Receive_filter | Both_filters
 
 type 'env harness = {
-  build : unit -> 'env;
+  build : seed:int64 -> 'env;
   sim : 'env -> Sim.t;
   pfi : 'env -> Pfi_core.Pfi_layer.t;
   workload : 'env -> unit;
@@ -17,6 +17,7 @@ type verdict =
 type outcome = {
   fault : Generator.fault;
   side : side;
+  seed : int64;
   verdict : verdict;
   injected_events : int;
 }
@@ -26,10 +27,42 @@ let side_name = function
   | Receive_filter -> "receive"
   | Both_filters -> "both"
 
-let run_trial harness ~side ~horizon fault =
-  let env = harness.build () in
+let side_of_name = function
+  | "send" -> Some Send_filter
+  | "receive" -> Some Receive_filter
+  | "both" -> Some Both_filters
+  | _ -> None
+
+let default_seed = 31L
+
+(* splitmix64 finalizer (Steele, Lea & Flood) — the same mixer Rng uses,
+   applied here to fold campaign seed, fault identity and side into one
+   well-distributed per-trial seed. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let side_code = function
+  | Send_filter -> 0x51L
+  | Receive_filter -> 0x52L
+  | Both_filters -> 0x53L
+
+let trial_seed ~campaign_seed ~side fault =
+  mix64
+    (Int64.add
+       (mix64 (Int64.add campaign_seed (Generator.fault_key fault)))
+       (side_code side))
+
+let run_trial harness ~side ~horizon ~seed ?script fault =
+  let env = harness.build ~seed in
   let pfi = harness.pfi env in
-  let script = Generator.script_of_fault fault in
+  let script =
+    match script with
+    | Some s -> s
+    | None -> Generator.script_of_fault fault
+  in
   (match side with
    | Send_filter -> Pfi_core.Pfi_layer.set_send_filter pfi script
    | Receive_filter -> Pfi_core.Pfi_layer.set_receive_filter pfi script
@@ -48,10 +81,10 @@ let run_trial harness ~side ~horizon fault =
     | Ok () -> Tolerated
     | Error reason -> Violation reason
   in
-  { fault; side; verdict; injected_events }
+  { fault; side; seed; verdict; injected_events }
 
-let control_trial harness ~horizon =
-  let env = harness.build () in
+let control_trial harness ~horizon ~seed =
+  let env = harness.build ~seed in
   harness.workload env;
   Sim.run ~until:horizon (harness.sim env);
   match harness.check env with
@@ -63,12 +96,18 @@ let control_trial harness ~horizon =
           (%s) — harness or protocol is broken"
          reason)
 
-let run ?(sides = [ Send_filter; Receive_filter; Both_filters ]) harness ~spec ~horizon
-    ?(target = "peer") () =
-  control_trial harness ~horizon;
+let run ?(sides = [ Send_filter; Receive_filter; Both_filters ])
+    ?(seed = default_seed) harness ~spec ~horizon ?(target = "peer") () =
+  control_trial harness ~horizon ~seed;
   let faults = Generator.campaign ~target spec in
   List.concat_map
-    (fun side -> List.map (run_trial harness ~side ~horizon) faults)
+    (fun side ->
+      List.map
+        (fun fault ->
+          run_trial harness ~side ~horizon
+            ~seed:(trial_seed ~campaign_seed:seed ~side fault)
+            fault)
+        faults)
     sides
 
 let summary outcomes =

@@ -7,15 +7,24 @@
     and an oracle checks the protocol's service guarantee.  The result
     says which faults the implementation tolerates and which ones
     expose a violation — the paper's "identify specific problems"
-    orientation, as opposed to statistical coverage. *)
+    orientation, as opposed to statistical coverage.
+
+    Every trial is seeded individually: the seed is a pure function of
+    the campaign seed, the fault's identity ({!Generator.fault_key})
+    and the filter side ({!trial_seed}), never of the trial's position
+    in the run.  Adding, removing or permuting faults or sides
+    therefore cannot change any other trial's verdict, and a single
+    trial can be re-executed byte-for-byte from a recorded
+    {!Repro.t} artifact. *)
 
 open Pfi_engine
 
 type side = Send_filter | Receive_filter | Both_filters
 
 type 'env harness = {
-  build : unit -> 'env;
-      (** fresh system for one trial (new Sim, network, stacks) *)
+  build : seed:int64 -> 'env;
+      (** fresh system for one trial (new Sim, network, stacks), seeded
+          with the given per-trial RNG seed *)
   sim : 'env -> Sim.t;
   pfi : 'env -> Pfi_core.Pfi_layer.t;  (** where generated scripts go *)
   workload : 'env -> unit;  (** start the driver traffic *)
@@ -30,20 +39,41 @@ type verdict =
 type outcome = {
   fault : Generator.fault;
   side : side;
+  seed : int64;  (** the per-trial RNG seed the trial actually ran with *)
   verdict : verdict;
   injected_events : int;  (** [testgen.fault] trace entries *)
 }
 
+val side_name : side -> string
+(** ["send"], ["receive"] or ["both"] — the inverse of {!side_of_name}. *)
+
+val side_of_name : string -> side option
+
+val default_seed : int64
+(** Campaign seed used when none is given (31). *)
+
+val trial_seed : campaign_seed:int64 -> side:side -> Generator.fault -> int64
+(** The per-trial seed: splitmix64-mixed from the campaign seed, the
+    fault's {!Generator.fault_key} and the side.  Pure, so a recorded
+    trial replays identically and sibling trials cannot perturb it. *)
+
 val run_trial :
-  'env harness -> side:side -> horizon:Vtime.t -> Generator.fault -> outcome
+  'env harness -> side:side -> horizon:Vtime.t -> seed:int64 ->
+  ?script:string -> Generator.fault -> outcome
+(** One isolated trial.  [script] overrides the generated filter text —
+    replay installs the recorded script bytes rather than regenerating
+    them, so an artifact stays reproducible even if the generator's
+    templates later change. *)
 
 val run :
-  ?sides:side list -> 'env harness -> spec:Spec.t -> horizon:Vtime.t ->
-  ?target:string -> unit -> outcome list
+  ?sides:side list -> ?seed:int64 -> 'env harness -> spec:Spec.t ->
+  horizon:Vtime.t -> ?target:string -> unit -> outcome list
 (** The whole campaign: every generated fault on every requested side
-    (default: send, receive, and both-at-once), each in a fresh system.  Also runs one fault-free
-    control trial first and raises [Failure] if the oracle rejects it
-    (a broken harness would make every verdict meaningless). *)
+    (default: send, receive, and both-at-once), each in a fresh system
+    with its own {!trial_seed}.  Also runs one fault-free control trial
+    first (seeded with the campaign seed) and raises [Failure] if the
+    oracle rejects it (a broken harness would make every verdict
+    meaningless). *)
 
 val summary : outcome list -> string
 (** Human-readable table of outcomes. *)

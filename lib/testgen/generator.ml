@@ -26,6 +26,41 @@ let describe = function
   | Inject_spurious (m, dst) ->
     Printf.sprintf "inject spurious %s toward %s" m.Spec.mtype dst
 
+(* A canonical rendering of the fault used only for identity: unlike
+   [describe] it keeps full float precision, so two faults that differ
+   in the fourth decimal (as shrinking produces) never collide. *)
+let canonical = function
+  | Drop_all t -> Printf.sprintf "drop_all/%s" t
+  | Drop_after (t, n) -> Printf.sprintf "drop_after/%s/%d" t n
+  | Drop_first (t, n) -> Printf.sprintf "drop_first/%s/%d" t n
+  | Drop_fraction (t, p) -> Printf.sprintf "drop_fraction/%s/%h" t p
+  | Omission_all p -> Printf.sprintf "omission_all/%h" p
+  | Byzantine_mix p -> Printf.sprintf "byzantine_mix/%h" p
+  | Delay_each (t, s) -> Printf.sprintf "delay_each/%s/%h" t s
+  | Duplicate t -> Printf.sprintf "duplicate/%s" t
+  | Corrupt (t, p) -> Printf.sprintf "corrupt/%s/%h" t p
+  | Reorder t -> Printf.sprintf "reorder/%s" t
+  | Inject_spurious (m, dst) ->
+    Printf.sprintf "inject_spurious/%s/%s/%s" m.Spec.mtype dst
+      (String.concat ";"
+         (List.map (fun (k, v) -> k ^ "=" ^ v) m.Spec.gen_args))
+
+(* FNV-1a over the canonical rendering: the fault's *identity*, not its
+   position in the campaign list.  Deriving per-trial RNG seeds from
+   this key means adding, removing or reordering faults in a campaign
+   can never change the seed — and hence the verdict — of any other
+   trial. *)
+let fault_key fault =
+  let fnv_offset = 0xcbf29ce484222325L and fnv_prime = 0x100000001b3L in
+  let s = canonical fault in
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
 (* All generated scripts share the type test; everything else hangs off
    it.  The scripts are deliberately plain — they are meant to be
    readable in test reports. *)

@@ -25,6 +25,16 @@ type fault =
 
 val describe : fault -> string
 
+val canonical : fault -> string
+(** Full-precision rendering used for fault identity (unlike
+    {!describe}, floats are not rounded for display). *)
+
+val fault_key : fault -> int64
+(** A stable 64-bit hash of {!canonical}: the fault's identity,
+    independent of its position in any campaign list.  {!Campaign}
+    derives per-trial RNG seeds from it so that adding, removing or
+    permuting faults never changes another trial's seed or verdict. *)
+
 val script_of_fault : fault -> string
 (** The generated filter script.  Scripts only assume the standard PFI
     command vocabulary plus the spec's stub. *)

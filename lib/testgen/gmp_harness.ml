@@ -13,10 +13,10 @@ type env = {
 let default_horizon = Vtime.sec 450
 let fault_clear_at = Vtime.sec 300
 
-let harness ?(bugs = Gmd.no_bugs) ?(seed = 57L) () =
+let harness ?(bugs = Gmd.no_bugs) () =
   let n = 3 in
   let config = { Gmd.default_config with Gmd.bugs } in
-  let build () =
+  let build ~seed =
     let sim = Sim.create ~seed () in
     let net = Network.create sim in
     let names = List.init n (fun i -> (Printf.sprintf "n%d" (i + 1), i + 1)) in
@@ -87,10 +87,12 @@ let harness ?(bugs = Gmd.no_bugs) ?(seed = 57L) () =
     Campaign.workload;
     Campaign.check }
 
-let run_campaign ?bugs () =
+let default_seed = 57L
+
+let run_campaign ?bugs ?(seed = default_seed) () =
   match
-    Campaign.run (harness ?bugs ()) ~spec:Spec.gmp ~horizon:default_horizon
-      ~target:"n2" ()
+    Campaign.run ~seed (harness ?bugs ()) ~spec:Spec.gmp
+      ~horizon:default_horizon ~target:"n2" ()
   with
   | outcomes -> Ok outcomes
   | exception Failure reason -> Error reason

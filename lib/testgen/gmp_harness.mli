@@ -19,11 +19,17 @@
 type env
 
 val harness :
-  ?bugs:Pfi_gmp.Gmd.bugs -> ?seed:int64 -> unit -> env Campaign.harness
+  ?bugs:Pfi_gmp.Gmd.bugs -> unit -> env Campaign.harness
 
 val default_horizon : Pfi_engine.Vtime.t
 
+val default_seed : int64
+(** The GMP campaign seed (57) — kept distinct from
+    {!Campaign.default_seed} so the two stock campaigns do not share
+    trial seeds. *)
+
 val run_campaign :
-  ?bugs:Pfi_gmp.Gmd.bugs -> unit -> (Campaign.outcome list, string) result
+  ?bugs:Pfi_gmp.Gmd.bugs -> ?seed:int64 -> unit ->
+  (Campaign.outcome list, string) result
 (** [Error reason] when even the fault-free control trial violates the
     oracle (which is itself a finding when bugs are implanted). *)

@@ -1,0 +1,91 @@
+(** Reproduction artifacts for campaign trials.
+
+    A repro artifact is the self-contained, JSON-serialized record of
+    one campaign trial: which harness and protocol spec, which fault on
+    which filter side, the horizon, the per-trial RNG seed, the exact
+    generated script text, and the oracle's verdict.  Because every
+    trial is a pure function of [(harness, fault, side, horizon, seed,
+    script)], the artifact is enough to re-execute the trial
+    byte-for-byte (`pfi_run replay`) or to minimize it (`pfi_run
+    shrink`, which appends its trajectory to the artifact).
+
+    The JSON format is versioned ([version] field, currently 1) and
+    read back by a small self-contained parser ({!Json}) — no external
+    JSON library is involved.  64-bit values (seeds, the horizon in
+    microseconds) are emitted as decimal strings because JSON numbers
+    are doubles. *)
+
+open Pfi_engine
+
+(** Minimal JSON tree with a deterministic pretty-printer and a
+    recursive-descent parser.  Exposed for tests and for other emitters
+    that need to read structured artifacts back. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list  (** field order preserved *)
+
+  val to_string : t -> string
+  (** Deterministic: same tree, same bytes. *)
+
+  val parse : string -> (t, string) result
+
+  val member : string -> t -> t option
+  val to_str : t -> string option
+  val to_int : t -> int option
+  val to_float : t -> float option
+end
+
+val fault_to_json : Generator.fault -> Json.t
+val fault_of_json : Json.t -> (Generator.fault, string) result
+
+(** One accepted step of a shrink run: the smaller state and the
+    violation that kept it. *)
+type shrink_step = {
+  step_fault : Generator.fault;
+  step_side : Campaign.side;
+  step_horizon : Vtime.t;
+  step_seed : int64;
+  step_size : int;  (** {!Shrink.size} of the accepted state *)
+  step_reason : string;  (** the oracle message of the accepting run *)
+}
+
+type t = {
+  version : int;
+  harness : string;  (** {!Registry} name, e.g. ["abp-buggy"] *)
+  protocol : string;  (** spec name, e.g. ["abp"] *)
+  target : string;  (** node spurious injections are addressed to *)
+  fault : Generator.fault;
+  side : Campaign.side;
+  horizon : Vtime.t;
+  seed : int64;  (** the per-trial RNG seed the trial ran with *)
+  campaign_seed : int64;  (** seed sibling trial seeds derive from *)
+  script : string;  (** exact generated filter text *)
+  verdict : Campaign.verdict;  (** the recorded oracle verdict *)
+  injected_events : int;
+  shrink_trajectory : shrink_step list;  (** empty until shrunk *)
+}
+
+val current_version : int
+
+val of_outcome :
+  harness:string -> protocol:string -> target:string ->
+  horizon:Vtime.t -> campaign_seed:int64 -> Campaign.outcome -> t
+(** Packages a trial outcome (typically a violation) as an artifact
+    with an empty shrink trajectory. *)
+
+val to_json : t -> string
+(** Deterministic, newline-terminated. *)
+
+val of_string : string -> (t, string) result
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+val filename : index:int -> t -> string
+(** ["repro-<index>-<side>-<fault slug>.json"] — stable, filesystem-safe. *)

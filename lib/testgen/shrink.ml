@@ -1,0 +1,164 @@
+open Pfi_engine
+
+type state = {
+  fault : Generator.fault;
+  side : Campaign.side;
+  horizon : Vtime.t;
+}
+
+let min_horizon = Vtime.sec 1
+let min_probability = 0.01
+let min_delay = 0.001
+
+(* ------------------------------------------------------------------ *)
+(* The size metric.                                                   *)
+(*                                                                    *)
+(* size(state) = fault_cost + side_cost + horizon_cost, where         *)
+(*   - probabilities and delays count in rounded permille,            *)
+(*   - counters (drop-after/first thresholds) count linearly,         *)
+(*   - Byzantine_mix pays a compound premium so decomposing it into a *)
+(*     constituent single fault is always a strict shrink,            *)
+(*   - side costs 2 for Both_filters, 1 otherwise,                    *)
+(*   - horizon costs its halvings-above-1s (floor log2 of seconds).   *)
+(* Every candidate below reduces exactly one component and leaves the *)
+(* others untouched, so each accepted shrink step strictly decreases  *)
+(* the total and the minimizer terminates.                            *)
+(* ------------------------------------------------------------------ *)
+
+let permille x = int_of_float (Float.round (x *. 1000.))
+
+let fault_cost = function
+  | Generator.Drop_all _ | Generator.Duplicate _ | Generator.Reorder _
+  | Generator.Inject_spurious _ -> 1
+  | Generator.Drop_after (_, n) -> 1 + n
+  | Generator.Drop_first (_, n) -> 1 + n
+  | Generator.Drop_fraction (_, p) | Generator.Corrupt (_, p)
+  | Generator.Omission_all p -> 1 + permille p
+  | Generator.Delay_each (_, s) -> 1 + permille s
+  | Generator.Byzantine_mix p -> 10 + (2 * permille p)
+
+let side_cost = function
+  | Campaign.Both_filters -> 2
+  | Campaign.Send_filter | Campaign.Receive_filter -> 1
+
+let horizon_cost h =
+  let secs = Int64.to_int (Int64.div (Vtime.to_us h) 1_000_000L) in
+  let rec log2 acc n = if n <= 1 then acc else log2 (acc + 1) (n / 2) in
+  log2 0 (max 1 secs)
+
+let size st = fault_cost st.fault + side_cost st.side + horizon_cost st.horizon
+
+(* ------------------------------------------------------------------ *)
+(* The candidate lattice                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* round to the precision the script templates print (%.4f / %.3f), so
+   the shrunk parameter and the script it generates agree exactly *)
+let round4 x = Float.round (x *. 10000.) /. 10000.
+let round3 x = Float.round (x *. 1000.) /. 1000.
+
+let halve_probability p =
+  let p' = round4 (p /. 2.) in
+  if p' >= min_probability && p' < p then [ p' ] else []
+
+let fault_candidates ~(spec : Spec.t) fault =
+  let dedup l = List.sort_uniq compare l in
+  match fault with
+  | Generator.Drop_all _ | Generator.Duplicate _ | Generator.Reorder _
+  | Generator.Inject_spurious _ -> []
+  | Generator.Drop_after (t, n) ->
+    dedup
+      (List.filter_map
+         (fun n' -> if n' >= 0 && n' < n then Some (Generator.Drop_after (t, n')) else None)
+         [ n / 2; n - 1 ])
+  | Generator.Drop_first (t, n) ->
+    (* Drop_first 0 drops nothing at all — stop at 1 *)
+    dedup
+      (List.filter_map
+         (fun n' -> if n' >= 1 && n' < n then Some (Generator.Drop_first (t, n')) else None)
+         [ n / 2; n - 1 ])
+  | Generator.Drop_fraction (t, p) ->
+    List.map (fun p' -> Generator.Drop_fraction (t, p')) (halve_probability p)
+  | Generator.Corrupt (t, p) ->
+    List.map (fun p' -> Generator.Corrupt (t, p')) (halve_probability p)
+  | Generator.Omission_all p ->
+    List.map (fun p' -> Generator.Omission_all p') (halve_probability p)
+  | Generator.Delay_each (t, s) ->
+    let s' = round3 (s /. 2.) in
+    if s' >= min_delay && s' < s then [ Generator.Delay_each (t, s') ] else []
+  | Generator.Byzantine_mix p ->
+    (* decompose into the constituents first (always a big cost drop),
+       then try weakening the mix itself *)
+    Generator.Omission_all p
+    :: List.map (fun t -> Generator.Duplicate t) (Spec.message_types spec)
+    @ List.map (fun p' -> Generator.Byzantine_mix p') (halve_probability p)
+
+let side_candidates = function
+  | Campaign.Both_filters -> [ Campaign.Send_filter; Campaign.Receive_filter ]
+  | Campaign.Send_filter | Campaign.Receive_filter -> []
+
+let horizon_candidates h =
+  let h' = Vtime.div h 2 in
+  if Vtime.(h' >= min_horizon) then [ h' ] else []
+
+let candidates ~spec st =
+  let fault_side_horizon =
+    List.map (fun fault -> { st with fault }) (fault_candidates ~spec st.fault)
+    @ List.map (fun side -> { st with side }) (side_candidates st.side)
+    @ List.map (fun horizon -> { st with horizon }) (horizon_candidates st.horizon)
+  in
+  (* every candidate is strictly smaller by construction; try the
+     smallest first so greedy acceptance takes the biggest step *)
+  List.stable_sort (fun a b -> compare (size a) (size b)) fault_side_horizon
+
+(* ------------------------------------------------------------------ *)
+(* Greedy minimization                                                *)
+(* ------------------------------------------------------------------ *)
+
+type step = {
+  state : state;
+  step_size : int;
+  reason : string;  (** the violation that kept this state *)
+}
+
+type report = {
+  minimized : state;
+  final_reason : string;
+  initial_size : int;
+  steps : step list;  (** accepted states, in order *)
+  trials : int;  (** re-runs spent, accepted or not *)
+}
+
+let minimize ?(max_trials = 1000) ~spec ~run st0 =
+  match (run st0 : Campaign.outcome).Campaign.verdict with
+  | Campaign.Tolerated ->
+    Error "the starting state does not violate the oracle — nothing to shrink"
+  | Campaign.Violation reason0 ->
+    let trials = ref 1 in
+    let steps = ref [] in
+    let rec go st reason =
+      let next =
+        List.find_map
+          (fun cand ->
+            if !trials >= max_trials then None
+            else begin
+              incr trials;
+              match (run cand).Campaign.verdict with
+              | Campaign.Violation r -> Some (cand, r)
+              | Campaign.Tolerated -> None
+            end)
+          (candidates ~spec st)
+      in
+      match next with
+      | None -> (st, reason)
+      | Some (st', reason') ->
+        steps := { state = st'; step_size = size st'; reason = reason' } :: !steps;
+        go st' reason'
+    in
+    let minimized, final_reason = go st0 reason0 in
+    Ok
+      { minimized;
+        final_reason;
+        initial_size = size st0;
+        steps = List.rev !steps;
+        trials = !trials }

@@ -1,0 +1,79 @@
+(** Counterexample shrinking for campaign violations.
+
+    Given a violating trial (a fault, a filter side and a horizon), the
+    minimizer walks the fault's parameter lattice downward — re-running
+    a fresh deterministic trial for every candidate — and keeps the
+    smallest state that still trips the oracle.  "Smaller" is the
+    documented {!size} metric:
+
+    {v size(state) = fault_cost + side_cost + horizon_cost v}
+
+    where probabilities and delays count in rounded permille, counters
+    count linearly, [Byzantine_mix] pays a compound premium (10 + 2p‰)
+    so decomposing it into a constituent single fault is always a
+    strict shrink, [Both_filters] costs 2 against 1 for a single side,
+    and the horizon costs its number of halvings above one second
+    (floor log2 of its seconds).  Every candidate strictly reduces
+    exactly one component, so each accepted step strictly decreases
+    the total and minimization terminates.
+
+    The lattice, per the fault classes of {!Generator.fault}:
+    - [Drop_after n] / [Drop_first n]: [n/2] and [n - 1]
+    - [Drop_fraction p] / [Corrupt p] / [Omission_all p]: halve [p]
+      (rounded to the 4 decimals the script prints, floored at 0.01)
+    - [Delay_each s]: halve [s] (3 decimals, floored at 1 ms)
+    - [Byzantine_mix p]: its constituents — [Omission_all p] (the drop
+      half) and [Duplicate t] per spec message type (the duplication
+      half) — then [Byzantine_mix (p/2)]
+    - [Both_filters]: each single side
+    - horizon: halve, floored at 1 s
+    - [Drop_all] / [Duplicate] / [Reorder] / [Inject_spurious]: atomic. *)
+
+open Pfi_engine
+
+type state = {
+  fault : Generator.fault;
+  side : Campaign.side;
+  horizon : Vtime.t;
+}
+
+val min_horizon : Vtime.t
+(** 1 s. *)
+
+val min_probability : float
+(** 0.01. *)
+
+val min_delay : float
+(** 1 ms. *)
+
+val size : state -> int
+(** The documented shrink-size metric (see the module preamble). *)
+
+val candidates : spec:Spec.t -> state -> state list
+(** All one-step reductions of [state], each strictly smaller by
+    {!size}, sorted smallest-first so greedy acceptance takes the
+    biggest step available. *)
+
+type step = {
+  state : state;
+  step_size : int;
+  reason : string;  (** the violation that kept this state *)
+}
+
+type report = {
+  minimized : state;
+  final_reason : string;  (** oracle message of the minimized state *)
+  initial_size : int;
+  steps : step list;  (** accepted states, in order *)
+  trials : int;  (** re-runs spent, accepted or not *)
+}
+
+val minimize :
+  ?max_trials:int -> spec:Spec.t -> run:(state -> Campaign.outcome) ->
+  state -> (report, string) Stdlib.result
+(** Greedy descent: re-runs candidates (via [run], which must be a
+    deterministic trial executor, e.g. {!Campaign.run_trial} with a
+    {!Campaign.trial_seed}-derived seed) and repeatedly accepts the
+    first — smallest — candidate that still violates, until none does
+    or [max_trials] (default 1000) re-runs have been spent.  [Error]
+    if the starting state does not violate the oracle. *)

@@ -9,5 +9,6 @@ let () =
       ("tcp-features", Tcp_feature_tests.suite);
       ("gmp", Gmp_tests.suite);
       ("testgen", Testgen_tests.suite);
+      ("repro", Repro_tests.suite);
       ("experiments", Experiments_tests.suite);
       ("properties", Property_tests.suite) ]

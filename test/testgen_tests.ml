@@ -141,6 +141,36 @@ let test_generated_scripts_parse () =
     (Generator.campaign Spec.abp @ Generator.campaign Spec.tcp
      @ Generator.campaign Spec.gmp)
 
+(* Property: every fault the generator can emit for a spec produces a
+   script that not only parses but *installs* — compiles into a fresh
+   PFI layer carrying the protocol's stub — on both filter sides,
+   without raising.  This is what `replay` relies on: any recorded
+   fault can always be re-armed. *)
+let check_scripts_install ~stub spec =
+  List.iter
+    (fun fault ->
+      let script = Generator.script_of_fault fault in
+      let sim = Sim.create ~seed:5L () in
+      let pfi = Pfi_core.Pfi_layer.create ~sim ~node:"install" ~stub () in
+      match
+        Pfi_core.Pfi_layer.set_send_filter pfi script;
+        Pfi_core.Pfi_layer.set_receive_filter pfi script
+      with
+      | () -> ()
+      | exception exn ->
+        Alcotest.failf "script for %S does not install on a fresh %s layer: %s"
+          (Generator.describe fault) spec.Spec.protocol (Printexc.to_string exn))
+    (Generator.campaign spec)
+
+let test_abp_scripts_install () =
+  check_scripts_install ~stub:Pfi_abp.Abp.stub Spec.abp
+
+let test_tcp_scripts_install () =
+  check_scripts_install ~stub:Pfi_tcp.Tcp_stub.stub Spec.tcp
+
+let test_gmp_scripts_install () =
+  check_scripts_install ~stub:Pfi_gmp.Gmp_stub.stub Spec.gmp
+
 let test_campaign_shape () =
   let faults = Generator.campaign Spec.abp in
   (* 2 message types x 6 faults + 1 spurious (ACK only) + omission_all
@@ -216,6 +246,12 @@ let suite =
     Alcotest.test_case "msc drops marked" `Quick test_msc_drop_marked;
     Alcotest.test_case "msc two-node ladder" `Quick test_msc_render_two_nodes;
     Alcotest.test_case "generated scripts parse" `Quick test_generated_scripts_parse;
+    Alcotest.test_case "abp scripts install on fresh pfi layer" `Quick
+      test_abp_scripts_install;
+    Alcotest.test_case "tcp scripts install on fresh pfi layer" `Quick
+      test_tcp_scripts_install;
+    Alcotest.test_case "gmp scripts install on fresh pfi layer" `Quick
+      test_gmp_scripts_install;
     Alcotest.test_case "campaign shape" `Quick test_campaign_shape;
     Alcotest.test_case "spec lookup" `Quick test_spec_lookup;
     Alcotest.test_case "campaign: correct ABP tolerates all" `Slow
