@@ -6,7 +6,8 @@
      bench/main.exe              regenerate everything + micro-benchmarks
      bench/main.exe table1       one artifact (table1..table8, figure4, exp5)
      bench/main.exe micro        only the micro-benchmarks
-     bench/main.exe tables       all tables/figures, no micro-benchmarks *)
+     bench/main.exe tables       all tables/figures, no micro-benchmarks
+     bench/main.exe scaling      campaign trials/sec at --jobs 1/2/4/8 *)
 
 open Pfi_experiments
 
@@ -195,7 +196,8 @@ let bench_shrink_descent () =
       Campaign.side = st.Shrink.side;
       Campaign.seed = 0L;
       Campaign.verdict = Campaign.Violation "synthetic";
-      Campaign.injected_events = 0 }
+      Campaign.injected_events = 0;
+      Campaign.trace = None }
   in
   Staged.stage (fun () ->
       ignore (Shrink.minimize ~spec:Spec.abp ~run shrink_start))
@@ -259,6 +261,54 @@ let run_micro () =
     (micro_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-executor scaling                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* wall-clock trials/sec of the abp-buggy campaign under the domain
+   executor at increasing worker counts.  The campaign is the same
+   deterministic workload at every width (same seed, same plan, same
+   byte output), so the only variable is the executor.  Speedups only
+   materialise with real cores: on a 1-CPU host every width runs at
+   sequential speed minus a little pool overhead. *)
+let run_scaling () =
+  let open Pfi_testgen in
+  Printf.printf
+    "\n== campaign scaling (abp-buggy, domain executor; %d core(s)) ==\n%!"
+    (Domain.recommended_domain_count ());
+  let (module H : Harness_intf.HARNESS) =
+    Option.get (Registry.find "abp-buggy")
+  in
+  let trials =
+    List.length (Campaign.plan ~spec:H.spec ~target:H.target ())
+  in
+  let time_at jobs =
+    let executor = Executor.of_jobs jobs in
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      Campaign.run ~executor (module H : Harness_intf.HARNESS) ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    assert (List.length outcomes = trials);
+    (dt, Campaign.summary outcomes)
+  in
+  (* warm-up run so allocation effects don't bias jobs=1 *)
+  ignore (time_at 1);
+  let base, base_summary = time_at 1 in
+  Printf.printf "  jobs=1  %6.2f s  %7.1f trials/sec  (baseline)\n%!" base
+    (float_of_int trials /. base);
+  List.iter
+    (fun jobs ->
+      let dt, summary = time_at jobs in
+      if not (String.equal summary base_summary) then
+        failwith
+          (Printf.sprintf "jobs=%d summary diverged from jobs=1" jobs);
+      Printf.printf "  jobs=%-2d %6.2f s  %7.1f trials/sec  (%.2fx)\n%!" jobs
+        dt
+        (float_of_int trials /. dt)
+        (base /. dt))
+    [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Array.to_list Sys.argv with
@@ -267,4 +317,5 @@ let () =
     run_micro ()
   | _ :: [ "micro" ] -> run_micro ()
   | _ :: [ "tables" ] -> run_all_artifacts ()
+  | _ :: [ "scaling" ] -> run_scaling ()
   | _ :: names -> List.iter run_artifact names

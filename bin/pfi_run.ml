@@ -7,12 +7,185 @@
    - `pfi-run msc`                 the paper's Section 4.1 ladder diagram
    - `pfi-run campaign <target>`   generated fault campaigns
                                    (abp | abp-buggy | gmp | gmp-buggy);
-                                   --repro-dir writes an artifact per violation
+                                   --repro-dir writes an artifact per violation,
+                                   --jobs N runs trials on N domains
    - `pfi-run shrink <file>`       minimize a violating repro artifact
-   - `pfi-run replay <file>`       deterministically re-execute an artifact *)
+   - `pfi-run replay <file>`       deterministically re-execute an artifact
+   - `pfi-run help [<cmd>]`        the normalized option table
+
+   Every subcommand draws its flags from one option-spec table (Copts
+   below), so `--seed`, `--trace-out`, `--json` and `--jobs` mean the
+   same thing everywhere they appear. *)
 
 open Cmdliner
 open Pfi_experiments
+
+(* ------------------------------------------------------------------ *)
+(* The common option-spec table                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Copts = struct
+  type spec = {
+    flag : string;  (** canonical long name *)
+    docv : string;  (** metavariable, or "" for booleans *)
+    doc : string;  (** one uniform meaning, whatever the subcommand *)
+  }
+
+  let seed =
+    { flag = "seed";
+      docv = "SEED";
+      doc =
+        "Root RNG seed.  For $(b,campaign) this is the campaign seed \
+         per-trial seeds are derived from; for $(b,replay) and $(b,shrink) \
+         it overrides the artifact's recorded seed; elsewhere it replaces \
+         the default simulator seed." }
+
+  let trace_out =
+    { flag = "trace-out";
+      docv = "FILE";
+      doc =
+        "Write the full simulation trace of every run as JSON Lines to \
+         $(docv): one object per trace entry, tagged with its origin and a \
+         deterministic sim index." }
+
+  let json =
+    { flag = "json";
+      docv = "";
+      doc = "Print machine-readable JSON objects instead of ASCII output." }
+
+  let jobs =
+    { flag = "jobs";
+      docv = "N";
+      doc =
+        "Execute independent trials on $(docv) worker domains \
+         (Executor.domains).  Output is byte-identical for any $(docv); \
+         the default 1 is the sequential executor." }
+
+  let repro_dir =
+    { flag = "repro-dir";
+      docv = "DIR";
+      doc =
+        "Write one JSON repro artifact per violating trial into $(docv) \
+         (created if missing).  Each artifact is self-contained: `pfi_run \
+         replay` re-executes it deterministically and `pfi_run shrink` \
+         minimizes it." }
+
+  let output =
+    { flag = "output";
+      docv = "OUT";
+      doc = "Where to write the minimized artifact." }
+
+  let max_trials =
+    { flag = "max-trials";
+      docv = "N";
+      doc = "Re-run budget for the minimizer (default 1000)." }
+
+  (* which subcommand carries which options — the single source the
+     Cmdliner terms and `pfi_run help <cmd>` are both generated from *)
+  let commands =
+    [ ("list", "ARTIFACTS?", "List regenerable artifacts and harnesses.",
+       [ json ]);
+      ("run", "ARTIFACT...", "Regenerate one or more paper artifacts.",
+       [ seed; trace_out; json ]);
+      ("repl", "", "Interactive REPL over the filter scripting language.",
+       [ seed ]);
+      ("msc", "", "Print the paper's global-error-counter ladder diagram.",
+       [ seed; trace_out; json ]);
+      ("campaign", "TARGET", "Run a generated fault-injection campaign.",
+       [ seed; trace_out; json; jobs; repro_dir ]);
+      ("shrink", "FILE", "Minimize a violating repro artifact.",
+       [ seed; trace_out; json; jobs; output; max_trials ]);
+      ("replay", "FILE", "Deterministically re-execute a repro artifact.",
+       [ seed; trace_out; json ]) ]
+
+  (* Cmdliner terms, generated from the specs *)
+  let flag_term spec = Arg.(value & flag & info [ spec.flag ] ~doc:spec.doc)
+
+  let opt_term cv spec =
+    Arg.(
+      value
+      & opt (some cv) None
+      & info [ spec.flag ] ~docv:spec.docv ~doc:spec.doc)
+
+  let seed_term = opt_term Arg.int64 seed
+  let trace_out_term = opt_term Arg.string trace_out
+  let json_term = flag_term json
+  let repro_dir_term = opt_term Arg.string repro_dir
+  let output_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; output.flag ] ~docv:output.docv ~doc:output.doc)
+  let max_trials_term =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ max_trials.flag ] ~docv:max_trials.docv ~doc:max_trials.doc)
+  let jobs_term =
+    Arg.(value & opt int 1 & info [ jobs.flag ] ~docv:jobs.docv ~doc:jobs.doc)
+end
+
+(* `pfi_run help [CMD]`: print the normalized option table *)
+let help_table cmd =
+  (* strip the Cmdliner markup used in the spec docs: $(b,X)/$(i,X)
+     become X, $(docv) becomes the option's metavariable *)
+  let plain ?(docv = "") doc =
+    let buf = Buffer.create (String.length doc) in
+    let n = String.length doc in
+    let rec go i =
+      if i < n then
+        if i + 1 < n && doc.[i] = '$' && doc.[i + 1] = '(' then begin
+          let stop =
+            match String.index_from_opt doc (i + 2) ')' with
+            | Some j -> j
+            | None -> n
+          in
+          let body = String.sub doc (i + 2) (max 0 (stop - i - 2)) in
+          let body =
+            match String.index_opt body ',' with
+            | Some k -> String.sub body (k + 1) (String.length body - k - 1)
+            | None -> if body = "docv" then docv else body
+          in
+          Buffer.add_string buf body;
+          go (stop + 1)
+        end
+        else begin
+          Buffer.add_char buf doc.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents buf
+  in
+  let print_one (name, args, doc, opts) =
+    Printf.printf "pfi_run %s %s\n  %s\n" name args (plain doc);
+    List.iter
+      (fun (o : Copts.spec) ->
+        let lhs =
+          if o.docv = "" then Printf.sprintf "--%s" o.flag
+          else Printf.sprintf "--%s %s" o.flag o.docv
+        in
+        Printf.printf "    %-22s %s\n" lhs (plain ~docv:o.docv o.doc))
+      opts;
+    print_newline ()
+  in
+  match cmd with
+  | None -> List.iter print_one Copts.commands
+  | Some name ->
+    (match List.find_opt (fun (n, _, _, _) -> n = name) Copts.commands with
+     | Some entry -> print_one entry
+     | None ->
+       Printf.eprintf "unknown command %S (try `pfi_run help`)\n" name;
+       exit 1)
+
+let help_cmd =
+  let doc = "Print the normalized option table (all commands or one)." in
+  let cmd = Arg.(value & pos 0 (some string) None & info [] ~docv:"CMD") in
+  Cmd.v (Cmd.info "help" ~doc) Term.(const help_table $ cmd)
+
+(* ------------------------------------------------------------------ *)
+(* Paper artifacts                                                    *)
+(* ------------------------------------------------------------------ *)
 
 type output =
   | Table of Report.t
@@ -38,20 +211,53 @@ let artifacts : (string * string * (unit -> output)) list =
       "ablation: retry accounting policy",
       fun () -> Table (Ablations.table_counter ()) ) ]
 
-let list_cmd =
-  let doc = "List the paper artifacts this reproduction can regenerate." in
-  let run () =
+let json_str s = Pfi_testgen.Repro.Json.Str s
+let json_print tree = print_endline (Pfi_testgen.Repro.Json.to_string tree)
+
+let list_ json =
+  if json then begin
     List.iter
-      (fun (name, desc, _) -> Printf.printf "  %-10s %s\n" name desc)
-      artifacts
-  in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+      (fun (name, desc, _) ->
+        json_print
+          (Pfi_testgen.Repro.Json.Obj
+             [ ("artifact", json_str name); ("description", json_str desc) ]))
+      artifacts;
+    List.iter
+      (fun entry ->
+        json_print
+          (Pfi_testgen.Repro.Json.Obj
+             [ ("harness", json_str (Pfi_testgen.Harness_intf.name entry));
+               ("description",
+                json_str (Pfi_testgen.Harness_intf.description entry)) ]))
+      Pfi_testgen.Registry.entries
+  end
+  else begin
+    print_endline "paper artifacts (pfi_run run <name>):";
+    List.iter
+      (fun (name, desc, _) -> Printf.printf "  %-16s %s\n" name desc)
+      artifacts;
+    print_endline "campaign harnesses (pfi_run campaign <name>):";
+    List.iter
+      (fun entry ->
+        Printf.printf "  %-16s %s\n"
+          (Pfi_testgen.Harness_intf.name entry)
+          (Pfi_testgen.Harness_intf.description entry))
+      Pfi_testgen.Registry.entries
+  end
+
+let list_cmd =
+  let doc = "List the paper artifacts and campaign harnesses." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_ $ Copts.json_term)
 
 (* While [f] runs, capture every simulation it creates (experiment
    generators build their sims internally) and let it flush their traces
    as JSONL to [trace_out].  The flush callback takes extra key/value
    pairs spliced into every line, so each exported entry says which
-   artifact and which sim it came from. *)
+   artifact and which sim it came from.
+
+   Single-domain only (see Sim.set_create_hook): the hook appends to a
+   shared list, which is exactly why parallel campaigns use per-trial
+   trace capture on campaign outcomes instead of this helper. *)
 let with_trace_capture trace_out f =
   match trace_out with
   | None -> f (fun _extra -> ())
@@ -80,6 +286,11 @@ let with_trace_capture trace_out f =
         close_out oc)
       (fun () -> f flush)
 
+let apply_default_seed seed =
+  match seed with
+  | Some s -> Pfi_engine.Sim.set_default_seed s
+  | None -> ()
+
 let run_one ~json ~flush name =
   match List.find_opt (fun (n, _, _) -> n = name) artifacts with
   | None ->
@@ -95,28 +306,13 @@ let run_one ~json ~flush name =
      | Figure f, false -> Report.print_figure f
      | Figure f, true -> print_endline (Report.figure_to_json f))
 
-let json_flag =
-  Arg.(
-    value & flag
-    & info [ "json" ]
-        ~doc:"Print each artifact as a single-line JSON object instead of ASCII.")
-
-let trace_out_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace-out" ] ~docv:"FILE"
-        ~doc:
-          "Write the full simulation trace of every run as JSON Lines to \
-           $(docv): one object per trace entry, tagged with the artifact name \
-           and a per-artifact sim index.")
-
 let run_cmd =
   let doc = "Regenerate one or more paper artifacts (or `all`)." in
   let names =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ARTIFACT")
   in
-  let run names json trace_out =
+  let run names json trace_out seed =
+    apply_default_seed seed;
     let names =
       if List.mem "all" names then List.map (fun (n, _, _) -> n) artifacts
       else names
@@ -124,11 +320,15 @@ let run_cmd =
     with_trace_capture trace_out (fun flush ->
         List.iter (run_one ~json ~flush) names)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ names $ json_flag $ trace_out_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ names $ Copts.json_term $ Copts.trace_out_term
+      $ Copts.seed_term)
 
 (* A REPL over the filter scripting language, with a sample TCP segment
    bound as cur_msg so msg_* commands can be explored interactively. *)
-let repl () =
+let repl seed =
+  apply_default_seed seed;
   let open Pfi_engine in
   let open Pfi_stack in
   let sim = Sim.create () in
@@ -179,59 +379,71 @@ let repl () =
 
 let repl_cmd =
   let doc = "Interactive REPL over the PFI filter scripting language." in
-  Cmd.v (Cmd.info "repl" ~doc) Term.(const repl $ const ())
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const repl $ Copts.seed_term)
 
 (* Re-runs the Solaris global-error-counter experiment with MSC
    recording on and prints the ladder diagram the paper draws in §4.1
    (m1 retransmitted six times, its delayed ACK, then m2 three times). *)
-let msc () =
+let msc seed trace_out json =
+  apply_default_seed seed;
   let open Pfi_engine in
   let open Pfi_core in
-  let rig = Tcp_rig.make ~profile:Pfi_tcp.Profile.solaris_23 () in
-  Pfi_netsim.Network.set_msc_enabled rig.Tcp_rig.net true;
-  let vconn, _xc = Tcp_rig.connect rig in
-  Pfi_layer.set_receive_filter rig.Tcp_rig.pfi
-    {|
+  with_trace_capture trace_out (fun flush ->
+      let rig = Tcp_rig.make ~profile:Pfi_tcp.Profile.solaris_23 () in
+      Pfi_netsim.Network.set_msc_enabled rig.Tcp_rig.net true;
+      let vconn, _xc = Tcp_rig.connect rig in
+      Pfi_layer.set_receive_filter rig.Tcp_rig.pfi
+        {|
 if {![info exists count]} { set count 0 }
 incr count
 if {$count == 31} { peer_set delay_next_ack 1 }
 if {$count > 31} { xDrop cur_msg }
 |};
-  Pfi_layer.set_send_filter rig.Tcp_rig.pfi
-    {|
+      Pfi_layer.set_send_filter rig.Tcp_rig.pfi
+        {|
 if {![info exists delay_next_ack]} { set delay_next_ack 0 }
 if {$delay_next_ack == 1 && [msg_type cur_msg] == "ACK"} {
   set delay_next_ack 0
   xDelay cur_msg 35.0
 }
 |};
-  let t_filter = Sim.now rig.Tcp_rig.sim in
-  Tcp_rig.feed_vendor rig ~conn:vconn ~chunk:128 ~every:(Vtime.ms 400) ~count:32;
-  Sim.run ~until:(Vtime.hours 1) rig.Tcp_rig.sim;
-  print_endline
-    "Message sequence chart: the Solaris global-error-counter discovery";
-  print_endline
-    "(m1's ACK delayed 35 s; X marks messages the PFI layer or network dropped)\n";
-  (* show only the interesting tail: from shortly before the drop phase *)
-  let events =
-    List.filter
-      (fun e -> Vtime.(e.Pfi_netsim.Msc.time >= Vtime.add t_filter (Vtime.sec 12)))
-      (Pfi_netsim.Msc.events (Sim.trace rig.Tcp_rig.sim))
-  in
-  Pfi_netsim.Msc.render ~nodes:[ Tcp_rig.vendor_node; Tcp_rig.xk_node ]
-    Format.std_formatter events
+      let t_filter = Sim.now rig.Tcp_rig.sim in
+      Tcp_rig.feed_vendor rig ~conn:vconn ~chunk:128 ~every:(Vtime.ms 400)
+        ~count:32;
+      Sim.run ~until:(Vtime.hours 1) rig.Tcp_rig.sim;
+      (* show only the interesting tail: from shortly before the drop phase *)
+      let events =
+        List.filter
+          (fun e ->
+            Vtime.(e.Pfi_netsim.Msc.time >= Vtime.add t_filter (Vtime.sec 12)))
+          (Pfi_netsim.Msc.events (Sim.trace rig.Tcp_rig.sim))
+      in
+      if json then
+        Trace.output_jsonl ~extra:[ ("artifact", "msc") ] ~tag:"msc" stdout
+          (Sim.trace rig.Tcp_rig.sim)
+      else begin
+        print_endline
+          "Message sequence chart: the Solaris global-error-counter discovery";
+        print_endline
+          "(m1's ACK delayed 35 s; X marks messages the PFI layer or network \
+           dropped)\n";
+        Pfi_netsim.Msc.render ~nodes:[ Tcp_rig.vendor_node; Tcp_rig.xk_node ]
+          Format.std_formatter events
+      end;
+      flush [ ("artifact", "msc") ])
 
 let msc_cmd =
   let doc =
     "Print the paper's global-error-counter ladder diagram (regenerated)."
   in
-  Cmd.v (Cmd.info "msc" ~doc) Term.(const msc $ const ())
+  Cmd.v (Cmd.info "msc" ~doc)
+    Term.(const msc $ Copts.seed_term $ Copts.trace_out_term $ Copts.json_term)
 
 (* ------------------------------------------------------------------ *)
 (* Fault-injection campaigns, repro artifacts, shrinking and replay   *)
 (* ------------------------------------------------------------------ *)
 
-let registry_entry which =
+let registry_entry which : (module Pfi_testgen.Harness_intf.HARNESS) =
   match Pfi_testgen.Registry.find which with
   | Some entry -> entry
   | None ->
@@ -248,71 +460,118 @@ let mkdir_p dir =
   in
   go dir
 
-(* fault-injection campaigns from generated scripts; every violation
-   can be written out as a self-contained, replayable repro artifact *)
-let campaign which trace_out repro_dir seed =
+let open_trace_out path =
+  try open_out path
+  with Sys_error m ->
+    Printf.eprintf "cannot open trace output: %s\n" m;
+    exit 1
+
+let verdict_json = function
+  | Pfi_testgen.Campaign.Tolerated -> json_str "tolerated"
+  | Pfi_testgen.Campaign.Violation reason ->
+    Pfi_testgen.Repro.Json.Obj [ ("violation", json_str reason) ]
+
+let outcome_json (o : Pfi_testgen.Campaign.outcome) =
   let open Pfi_testgen in
-  let entry = registry_entry which in
-  let campaign_seed = Option.value seed ~default:entry.Registry.default_seed in
-  with_trace_capture trace_out (fun flush ->
-      (match entry.Registry.campaign ~seed:campaign_seed () with
-       | Error reason ->
-         Printf.printf "the fault-free control trial already fails: %s\n" reason
-       | Ok outcomes ->
-         print_string (Campaign.summary outcomes);
-         (match repro_dir with
-          | None -> ()
-          | Some dir ->
-            mkdir_p dir;
-            let bad = Campaign.violations outcomes in
-            List.iteri
-              (fun i outcome ->
-                let artifact =
-                  Repro.of_outcome ~harness:which
-                    ~protocol:entry.Registry.spec.Spec.protocol
-                    ~target:entry.Registry.target
-                    ~horizon:entry.Registry.default_horizon ~campaign_seed
-                    outcome
-                in
-                let path =
-                  Filename.concat dir (Repro.filename ~index:(i + 1) artifact)
-                in
-                Repro.save path artifact;
-                Printf.printf "repro artifact: %s\n" path)
-              bad;
-            if bad = [] then
-              Printf.printf "no violations — no repro artifacts written\n"));
-      flush [ ("campaign", which) ])
+  Repro.Json.Obj
+    [ ("fault", Repro.fault_to_json o.Campaign.fault);
+      ("desc", json_str (Generator.describe o.Campaign.fault));
+      ("side", json_str (Campaign.side_name o.Campaign.side));
+      ("seed", json_str (Int64.to_string o.Campaign.seed));
+      ("injected_events", Repro.Json.Int o.Campaign.injected_events);
+      ("verdict", verdict_json o.Campaign.verdict) ]
+
+(* fault-injection campaigns from generated scripts; every violation
+   can be written out as a self-contained, replayable repro artifact.
+   Trials run through Executor.of_jobs: outcomes (and hence the summary,
+   the JSONL trace export, and the artifacts) come back in canonical
+   plan order for any worker count. *)
+let campaign which trace_out repro_dir seed jobs json =
+  let open Pfi_testgen in
+  let (module H : Harness_intf.HARNESS) = registry_entry which in
+  let campaign_seed = Option.value seed ~default:H.default_seed in
+  let executor = Executor.of_jobs jobs in
+  let oc = Option.map open_trace_out trace_out in
+  let control_trace = ref None in
+  let on_control sim = control_trace := Some (Pfi_engine.Sim.trace sim) in
+  (match
+     Campaign.run ~seed:campaign_seed ~executor
+       ~capture_traces:(oc <> None) ~on_control
+       (module H : Harness_intf.HARNESS)
+       ()
+   with
+   | exception Failure reason ->
+     if json then
+       json_print
+         (Repro.Json.Obj [ ("control_failure", json_str reason) ])
+     else
+       Printf.printf "the fault-free control trial already fails: %s\n" reason
+   | outcomes ->
+     if json then begin
+       List.iter (fun o -> json_print (outcome_json o)) outcomes;
+       json_print
+         (Repro.Json.Obj
+            [ ("trials", Repro.Json.Int (List.length outcomes));
+              ("violations",
+               Repro.Json.Int (List.length (Campaign.violations outcomes)));
+              ("executor", json_str (Executor.name executor)) ])
+     end
+     else print_string (Campaign.summary outcomes);
+     (* the trace export walks control + trials in canonical order, so
+        the JSONL bytes are independent of the worker count too *)
+     (match oc with
+      | None -> ()
+      | Some oc ->
+        let extra i =
+          [ ("campaign", which); ("sim", string_of_int i) ]
+        in
+        (match !control_trace with
+         | Some trace ->
+           Pfi_engine.Trace.output_jsonl ~extra:(extra 0) oc trace
+         | None -> ());
+        List.iteri
+          (fun i (o : Campaign.outcome) ->
+            match o.Campaign.trace with
+            | Some trace ->
+              Pfi_engine.Trace.output_jsonl ~extra:(extra (i + 1)) oc trace
+            | None -> ())
+          outcomes);
+     (match repro_dir with
+      | None -> ()
+      | Some dir ->
+        mkdir_p dir;
+        let bad = Campaign.violations outcomes in
+        List.iteri
+          (fun i outcome ->
+            let artifact =
+              Repro.of_outcome ~harness:H.name ~protocol:H.spec.Spec.protocol
+                ~target:H.target ~horizon:H.default_horizon ~campaign_seed
+                outcome
+            in
+            let path =
+              Filename.concat dir (Repro.filename ~index:(i + 1) artifact)
+            in
+            Repro.save path artifact;
+            if json then
+              json_print (Repro.Json.Obj [ ("repro", json_str path) ])
+            else Printf.printf "repro artifact: %s\n" path)
+          bad;
+        if bad = [] && not json then
+          Printf.printf "no violations — no repro artifacts written\n"));
+  Option.iter close_out oc
 
 let campaign_cmd =
   let doc =
     "Run a generated fault-injection campaign (abp | abp-buggy | gmp | \
      gmp-buggy), optionally writing a replayable repro artifact per \
-     violation."
+     violation.  With $(b,--jobs) N the independent trials execute on N \
+     domains; summaries, traces and artifacts are byte-identical for any N."
   in
   let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
-  let repro_dir =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "repro-dir" ] ~docv:"DIR"
-          ~doc:
-            "Write one JSON repro artifact per violating trial into $(docv) \
-             (created if missing).  Each artifact is self-contained: \
-             `pfi_run replay` re-executes it deterministically and `pfi_run \
-             shrink` minimizes it.")
-  in
-  let seed =
-    Arg.(
-      value
-      & opt (some int64) None
-      & info [ "seed" ] ~docv:"SEED"
-          ~doc:
-            "Campaign seed per-trial seeds are derived from (defaults to the \
-             harness's stock seed).")
-  in
   Cmd.v (Cmd.info "campaign" ~doc)
-    Term.(const campaign $ which $ trace_out_arg $ repro_dir $ seed)
+    Term.(
+      const campaign $ which $ Copts.trace_out_term $ Copts.repro_dir_term
+      $ Copts.seed_term $ Copts.jobs_term $ Copts.json_term)
 
 let load_artifact file =
   match Pfi_testgen.Repro.load file with
@@ -327,31 +586,55 @@ let pp_verdict = function
 
 (* deterministic re-execution of a recorded trial: rebuild the recorded
    harness with the recorded seed, install the recorded script bytes,
-   run to the recorded horizon, and require the recorded verdict *)
-let replay file trace_out =
+   run to the recorded horizon, and require the recorded verdict.
+   --seed swaps in another per-trial seed (a quick seed-robustness
+   probe); a changed verdict then still exits 1. *)
+let replay file trace_out seed json =
   let open Pfi_testgen in
   let artifact = load_artifact file in
-  let entry = registry_entry artifact.Repro.harness in
-  with_trace_capture trace_out (fun flush ->
-      let outcome =
-        entry.Registry.trial ~side:artifact.Repro.side
-          ~horizon:artifact.Repro.horizon ~seed:artifact.Repro.seed
-          ~script:artifact.Repro.script artifact.Repro.fault
-      in
-      flush [ ("replay", Filename.basename file) ];
-      Printf.printf "replay %s\n  harness:  %s\n  fault:    %s\n  side:     %s\n"
-        file artifact.Repro.harness
-        (Generator.describe artifact.Repro.fault)
-        (Campaign.side_name artifact.Repro.side);
-      Printf.printf "  recorded: %s\n  observed: %s\n"
-        (pp_verdict artifact.Repro.verdict)
-        (pp_verdict outcome.Campaign.verdict);
-      if outcome.Campaign.verdict = artifact.Repro.verdict then
-        print_endline "  verdict reproduced"
-      else begin
-        print_endline "  VERDICT MISMATCH — the trial did not reproduce";
-        exit 1
-      end)
+  let (module H : Harness_intf.HARNESS) =
+    registry_entry artifact.Repro.harness
+  in
+  let seed = Option.value seed ~default:artifact.Repro.seed in
+  let outcome =
+    Campaign.run_trial
+      (module H : Harness_intf.HARNESS)
+      ~side:artifact.Repro.side ~horizon:artifact.Repro.horizon ~seed
+      ~capture_trace:(trace_out <> None) ~script:artifact.Repro.script
+      artifact.Repro.fault
+  in
+  (match (trace_out, outcome.Campaign.trace) with
+   | Some path, Some trace ->
+     let oc = open_trace_out path in
+     Pfi_engine.Trace.output_jsonl
+       ~extra:[ ("replay", Filename.basename file); ("sim", "0") ]
+       oc trace;
+     close_out oc
+   | _ -> ());
+  let reproduced = outcome.Campaign.verdict = artifact.Repro.verdict in
+  if json then
+    json_print
+      (Repro.Json.Obj
+         [ ("file", json_str file);
+           ("harness", json_str artifact.Repro.harness);
+           ("fault", Repro.fault_to_json artifact.Repro.fault);
+           ("side", json_str (Campaign.side_name artifact.Repro.side));
+           ("seed", json_str (Int64.to_string seed));
+           ("recorded", verdict_json artifact.Repro.verdict);
+           ("observed", verdict_json outcome.Campaign.verdict);
+           ("reproduced", Repro.Json.Bool reproduced) ])
+  else begin
+    Printf.printf "replay %s\n  harness:  %s\n  fault:    %s\n  side:     %s\n"
+      file artifact.Repro.harness
+      (Generator.describe artifact.Repro.fault)
+      (Campaign.side_name artifact.Repro.side);
+    Printf.printf "  recorded: %s\n  observed: %s\n"
+      (pp_verdict artifact.Repro.verdict)
+      (pp_verdict outcome.Campaign.verdict);
+    if reproduced then print_endline "  verdict reproduced"
+    else print_endline "  VERDICT MISMATCH — the trial did not reproduce"
+  end;
+  if not reproduced then exit 1
 
 let replay_cmd =
   let doc =
@@ -359,20 +642,30 @@ let replay_cmd =
      recorded verdict reproduces (exit 1 on mismatch)."
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ file $ trace_out_arg)
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const replay $ file $ Copts.trace_out_term $ Copts.seed_term
+      $ Copts.json_term)
 
 (* delta-debug a recorded violation down its parameter lattice and
-   write the minimized trial as a fresh artifact *)
-let shrink file out max_trials =
+   write the minimized trial as a fresh artifact; --jobs evaluates the
+   independent candidates of each descent round in parallel *)
+let shrink file out max_trials seed jobs trace_out json =
   let open Pfi_testgen in
   let artifact = load_artifact file in
-  let entry = registry_entry artifact.Repro.harness in
-  let run (st : Shrink.state) =
-    entry.Registry.trial ~side:st.Shrink.side ~horizon:st.Shrink.horizon
-      ~seed:
-        (Campaign.trial_seed ~campaign_seed:artifact.Repro.campaign_seed
-           ~side:st.Shrink.side st.Shrink.fault)
-      st.Shrink.fault
+  let (module H : Harness_intf.HARNESS) =
+    registry_entry artifact.Repro.harness
+  in
+  let campaign_seed = Option.value seed ~default:artifact.Repro.campaign_seed in
+  let executor = Executor.of_jobs jobs in
+  let trial_seed (st : Shrink.state) =
+    Campaign.trial_seed ~campaign_seed ~side:st.Shrink.side st.Shrink.fault
+  in
+  let run ?capture_trace (st : Shrink.state) =
+    Campaign.run_trial
+      (module H : Harness_intf.HARNESS)
+      ~side:st.Shrink.side ~horizon:st.Shrink.horizon ~seed:(trial_seed st)
+      ?capture_trace st.Shrink.fault
   in
   let st0 =
     { Shrink.fault = artifact.Repro.fault;
@@ -380,40 +673,72 @@ let shrink file out max_trials =
       Shrink.horizon = artifact.Repro.horizon }
   in
   match
-    Shrink.minimize ~max_trials ~spec:entry.Registry.spec ~run st0
+    Shrink.minimize ~max_trials ~executor ~spec:H.spec ~run:(run ?capture_trace:None) st0
   with
   | Error reason ->
     Printf.eprintf "cannot shrink %s: %s\n" file reason;
     exit 1
   | Ok report ->
-    Printf.printf "shrink %s\n  start:     %-44s %-8s size %d\n" file
-      (Generator.describe artifact.Repro.fault)
-      (Campaign.side_name artifact.Repro.side)
-      report.Shrink.initial_size;
-    List.iter
-      (fun (step : Shrink.step) ->
-        Printf.printf "  shrunk to: %-44s %-8s size %d  (%s)\n"
-          (Generator.describe step.Shrink.state.Shrink.fault)
-          (Campaign.side_name step.Shrink.state.Shrink.side)
-          step.Shrink.step_size step.Shrink.reason)
-      report.Shrink.steps;
-    Printf.printf "  %d accepted steps, %d trials\n"
-      (List.length report.Shrink.steps)
-      report.Shrink.trials;
     let minimized = report.Shrink.minimized in
-    let seed =
-      Campaign.trial_seed ~campaign_seed:artifact.Repro.campaign_seed
-        ~side:minimized.Shrink.side minimized.Shrink.fault
+    let out_path =
+      match out with
+      | Some p -> p
+      | None -> Filename.remove_extension file ^ ".min.json"
     in
+    let step_json (step : Shrink.step) =
+      Repro.Json.Obj
+        [ ("fault", Repro.fault_to_json step.Shrink.state.Shrink.fault);
+          ("desc", json_str (Generator.describe step.Shrink.state.Shrink.fault));
+          ("side", json_str (Campaign.side_name step.Shrink.state.Shrink.side));
+          ("size", Repro.Json.Int step.Shrink.step_size);
+          ("reason", json_str step.Shrink.reason) ]
+    in
+    if json then
+      json_print
+        (Repro.Json.Obj
+           [ ("file", json_str file);
+             ("initial_size", Repro.Json.Int report.Shrink.initial_size);
+             ("steps", Repro.Json.List (List.map step_json report.Shrink.steps));
+             ("trials", Repro.Json.Int report.Shrink.trials);
+             ("minimized", Repro.fault_to_json minimized.Shrink.fault);
+             ("minimized_size", Repro.Json.Int (Shrink.size minimized));
+             ("executor", json_str (Executor.name executor));
+             ("out", json_str out_path) ])
+    else begin
+      Printf.printf "shrink %s\n  start:     %-44s %-8s size %d\n" file
+        (Generator.describe artifact.Repro.fault)
+        (Campaign.side_name artifact.Repro.side)
+        report.Shrink.initial_size;
+      List.iter
+        (fun (step : Shrink.step) ->
+          Printf.printf "  shrunk to: %-44s %-8s size %d  (%s)\n"
+            (Generator.describe step.Shrink.state.Shrink.fault)
+            (Campaign.side_name step.Shrink.state.Shrink.side)
+            step.Shrink.step_size step.Shrink.reason)
+        report.Shrink.steps;
+      Printf.printf "  %d accepted steps, %d trials\n"
+        (List.length report.Shrink.steps)
+        report.Shrink.trials
+    end;
+    (* the minimized trial's own trace, re-executed once more *)
+    (match trace_out with
+     | None -> ()
+     | Some path ->
+       (match (run ~capture_trace:true minimized).Campaign.trace with
+        | Some trace ->
+          let oc = open_trace_out path in
+          Pfi_engine.Trace.output_jsonl
+            ~extra:[ ("shrink", Filename.basename file); ("sim", "0") ]
+            oc trace;
+          close_out oc
+        | None -> ()));
     let trajectory =
       List.map
         (fun (step : Shrink.step) ->
           { Repro.step_fault = step.Shrink.state.Shrink.fault;
             Repro.step_side = step.Shrink.state.Shrink.side;
             Repro.step_horizon = step.Shrink.state.Shrink.horizon;
-            Repro.step_seed =
-              Campaign.trial_seed ~campaign_seed:artifact.Repro.campaign_seed
-                ~side:step.Shrink.state.Shrink.side step.Shrink.state.Shrink.fault;
+            Repro.step_seed = trial_seed step.Shrink.state;
             Repro.step_size = step.Shrink.step_size;
             Repro.step_reason = step.Shrink.reason })
         report.Shrink.steps
@@ -423,18 +748,14 @@ let shrink file out max_trials =
         Repro.fault = minimized.Shrink.fault;
         Repro.side = minimized.Shrink.side;
         Repro.horizon = minimized.Shrink.horizon;
-        Repro.seed;
+        Repro.seed = trial_seed minimized;
+        Repro.campaign_seed;
         Repro.script = Generator.script_of_fault minimized.Shrink.fault;
         Repro.verdict = Campaign.Violation report.Shrink.final_reason;
         Repro.shrink_trajectory = trajectory }
     in
-    let out_path =
-      match out with
-      | Some p -> p
-      | None -> Filename.remove_extension file ^ ".min.json"
-    in
     Repro.save out_path shrunk;
-    Printf.printf "  minimized artifact: %s\n" out_path
+    if not json then Printf.printf "  minimized artifact: %s\n" out_path
 
 let shrink_cmd =
   let doc =
@@ -443,22 +764,11 @@ let shrink_cmd =
      new artifact (FILE with a .min.json suffix unless $(b,-o) is given)."
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"OUT"
-          ~doc:"Where to write the minimized artifact.")
-  in
-  let max_trials =
-    Arg.(
-      value
-      & opt int 1000
-      & info [ "max-trials" ] ~docv:"N"
-          ~doc:"Re-run budget for the minimizer.")
-  in
   Cmd.v (Cmd.info "shrink" ~doc)
-    Term.(const shrink $ file $ out $ max_trials)
+    Term.(
+      const shrink $ file $ Copts.output_term $ Copts.max_trials_term
+      $ Copts.seed_term $ Copts.jobs_term $ Copts.trace_out_term
+      $ Copts.json_term)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -472,4 +782,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; repl_cmd; msc_cmd; campaign_cmd; shrink_cmd;
-            replay_cmd ]))
+            replay_cmd; help_cmd ]))

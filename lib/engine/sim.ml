@@ -12,12 +12,28 @@ exception Stop
 
 (* Observability plumbing for front ends (e.g. `pfi_run --trace-out`):
    experiment generators build their simulations internally, so a CLI
-   that wants every trace registers a hook here before running them. *)
-let creation_hook : (t -> unit) option ref = ref None
+   that wants every trace registers a hook here before running them.
+   The cell is atomic so a concurrently running domain reads a
+   well-defined value, but the hook itself runs on whichever domain
+   calls [create] — installing a hook that mutates shared state is only
+   sound while all sims are created on one domain (see the .mli).
+   Parallel campaign execution (Pfi_testgen.Executor.domains) does not
+   use this hook: trial traces are captured per-Sim instead. *)
+let creation_hook : (t -> unit) option Atomic.t = Atomic.make None
 
-let set_create_hook hook = creation_hook := hook
+let set_create_hook hook = Atomic.set creation_hook hook
 
-let create ?(seed = 1L) () =
+(* Process-wide fallback seed for [create ?seed:None], settable by front
+   ends so a CLI `--seed` reaches simulations that experiment generators
+   build internally.  Same single-domain caveat as the creation hook. *)
+let default_seed : int64 Atomic.t = Atomic.make 1L
+
+let set_default_seed seed = Atomic.set default_seed seed
+
+let create ?seed () =
+  let seed =
+    match seed with Some s -> s | None -> Atomic.get default_seed
+  in
   let t =
     { queue = Event_queue.create ();
       clock = Vtime.zero;
@@ -25,7 +41,7 @@ let create ?(seed = 1L) () =
       trace = Trace.create ();
       stopping = false }
   in
-  (match !creation_hook with Some f -> f t | None -> ());
+  (match Atomic.get creation_hook with Some f -> f t | None -> ());
   t
 
 let now t = t.clock

@@ -11,7 +11,8 @@ type handle
 (** A scheduled callback, for cancellation. *)
 
 val create : ?seed:int64 -> unit -> t
-(** [seed] defaults to [1L]. *)
+(** [seed] defaults to the process-wide default seed ([1L] unless a
+    front end changed it via {!set_default_seed}). *)
 
 val now : t -> Vtime.t
 
@@ -33,7 +34,21 @@ val set_create_hook : ((t -> unit) option) -> unit
 (** Process-wide hook invoked on every {!create} — lets a front end
     capture the simulations (and hence traces) that experiment
     generators build internally.  Pass [None] to uninstall.  Not for
-    library code. *)
+    library code.
+
+    {b Single-domain use only.}  The hook runs on whichever domain
+    calls {!create}; the registration cell is atomic, but a hook that
+    mutates shared state (the usual use: appending to a list of sims)
+    is only sound while every simulation is created on one domain.
+    Parallel campaign execution deliberately bypasses it — trial traces
+    are carried on campaign outcomes instead
+    ([Pfi_testgen.Campaign.outcome.trace]). *)
+
+val set_default_seed : int64 -> unit
+(** Process-wide default for [create ?seed:None] (initially [1L]) —
+    lets a front end's [--seed] reach simulations that experiment
+    generators build internally.  Front ends only; same single-domain
+    caveat as {!set_create_hook}. *)
 
 (** {1 Scheduling} *)
 

@@ -4,11 +4,13 @@ type t = {
   mutable attrs : (string * string) list;
 }
 
-let next_id = ref 0
+(* Atomic so ids stay unique when trials run on concurrent domains
+   (Pfi_testgen.Executor.domains).  Ids are process-unique, never
+   recorded in traces or verdicts, so the allocation order being
+   scheduling-dependent cannot leak into campaign output. *)
+let next_id = Atomic.make 0
 
-let fresh_id () =
-  incr next_id;
-  !next_id
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
 let create ?(attrs = []) payload = { id = fresh_id (); payload; attrs }
 

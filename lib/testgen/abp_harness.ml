@@ -12,56 +12,69 @@ type env = {
 
 let default_horizon = Vtime.sec 120
 
-let harness ?(message_count = 20) ?(bug_ignore_ack_bit = false) () =
-  let build ~seed =
-    let sim = Sim.create ~seed () in
-    let net = Network.create sim in
-    let sender =
-      Pfi_abp.Abp.create ~sim ~node:"alice" ~peer:"bob" ~bug_ignore_ack_bit ()
-    in
-    let pfi =
-      Pfi_core.Pfi_layer.create ~sim ~node:"alice" ~stub:Pfi_abp.Abp.stub ()
-    in
-    let dev_a = Network.attach net ~node:"alice" in
-    Layer.stack
-      [ Pfi_abp.Abp.layer sender; Pfi_core.Pfi_layer.layer pfi; dev_a ];
-    let receiver =
-      Pfi_abp.Abp.create ~sim ~node:"bob" ~peer:"alice" ~bug_ignore_ack_bit ()
-    in
-    let dev_b = Network.attach net ~node:"bob" in
-    Layer.stack [ Pfi_abp.Abp.layer receiver; dev_b ];
-    let expected = List.init message_count (Printf.sprintf "msg-%02d") in
-    { sim; pfi; sender; receiver; expected }
-  in
-  let workload env =
-    List.iteri
-      (fun i text ->
-        ignore
-          (Sim.schedule env.sim ~delay:(Vtime.sec i) (fun () ->
-               Pfi_abp.Abp.send env.sender text)))
-      env.expected
-  in
-  let check env =
-    let got = Pfi_abp.Abp.delivered env.receiver in
-    if got <> env.expected then
-      Error
-        (Printf.sprintf "delivered %d/%d messages%s" (List.length got)
-           (List.length env.expected)
-           (if List.length got = List.length env.expected then " (wrong order/content)"
-            else ""))
-    else if Pfi_abp.Abp.unacked env.sender > 0 then
-      Error
-        (Printf.sprintf "%d messages never acknowledged"
-           (Pfi_abp.Abp.unacked env.sender))
-    else Ok ()
-  in
-  { Campaign.build;
-    Campaign.sim = (fun env -> env.sim);
-    Campaign.pfi = (fun env -> env.pfi);
-    Campaign.workload;
-    Campaign.check }
+let harness ?(message_count = 20) ?(bug_ignore_ack_bit = false) () :
+    Harness_intf.packed =
+  (module struct
+    type nonrec env = env
 
-let run_campaign ?bug_ignore_ack_bit ?seed () =
-  Campaign.run ?seed
-    (harness ?bug_ignore_ack_bit ())
-    ~spec:Spec.abp ~horizon:default_horizon ~target:"bob" ()
+    let name = if bug_ignore_ack_bit then "abp-buggy" else "abp"
+
+    let description =
+      if bug_ignore_ack_bit then
+        "ABP with the implanted ignore-ack-bit bug"
+      else "alternating-bit protocol, correct"
+
+    let spec = Spec.abp
+    let target = "bob"
+    let default_horizon = default_horizon
+    let default_seed = Campaign.default_seed
+
+    let build ~seed =
+      let sim = Sim.create ~seed () in
+      let net = Network.create sim in
+      let sender =
+        Pfi_abp.Abp.create ~sim ~node:"alice" ~peer:"bob" ~bug_ignore_ack_bit ()
+      in
+      let pfi =
+        Pfi_core.Pfi_layer.create ~sim ~node:"alice" ~stub:Pfi_abp.Abp.stub ()
+      in
+      let dev_a = Network.attach net ~node:"alice" in
+      Layer.stack
+        [ Pfi_abp.Abp.layer sender; Pfi_core.Pfi_layer.layer pfi; dev_a ];
+      let receiver =
+        Pfi_abp.Abp.create ~sim ~node:"bob" ~peer:"alice" ~bug_ignore_ack_bit ()
+      in
+      let dev_b = Network.attach net ~node:"bob" in
+      Layer.stack [ Pfi_abp.Abp.layer receiver; dev_b ];
+      let expected = List.init message_count (Printf.sprintf "msg-%02d") in
+      { sim; pfi; sender; receiver; expected }
+
+    let sim env = env.sim
+    let pfi env = env.pfi
+
+    let workload env =
+      List.iteri
+        (fun i text ->
+          ignore
+            (Sim.schedule env.sim ~delay:(Vtime.sec i) (fun () ->
+                 Pfi_abp.Abp.send env.sender text)))
+        env.expected
+
+    let check env =
+      let got = Pfi_abp.Abp.delivered env.receiver in
+      if got <> env.expected then
+        Error
+          (Printf.sprintf "delivered %d/%d messages%s" (List.length got)
+             (List.length env.expected)
+             (if List.length got = List.length env.expected then
+                " (wrong order/content)"
+              else ""))
+      else if Pfi_abp.Abp.unacked env.sender > 0 then
+        Error
+          (Printf.sprintf "%d messages never acknowledged"
+             (Pfi_abp.Abp.unacked env.sender))
+      else Ok ()
+  end)
+
+let run_campaign ?bug_ignore_ack_bit ?seed ?executor () =
+  Campaign.run ?seed ?executor (harness ?bug_ignore_ack_bit ()) ()

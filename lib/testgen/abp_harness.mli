@@ -6,18 +6,21 @@
     exactly the sent sequence, in order, with no duplicates, and alice
     has nothing left unacknowledged. *)
 
-type env
-
 val harness :
   ?message_count:int -> ?bug_ignore_ack_bit:bool -> unit ->
-  env Campaign.harness
+  Harness_intf.packed
+(** A packed {!Harness_intf.HARNESS}: registry name ["abp"] (or
+    ["abp-buggy"] with the bug implanted), spec {!Spec.abp}, target
+    ["bob"]. *)
 
 val default_horizon : Pfi_engine.Vtime.t
 (** Comfortably enough for the workload to finish under every campaign
     fault (120 s of virtual time). *)
 
 val run_campaign :
-  ?bug_ignore_ack_bit:bool -> ?seed:int64 -> unit -> Campaign.outcome list
+  ?bug_ignore_ack_bit:bool -> ?seed:int64 -> ?executor:Executor.t -> unit ->
+  Campaign.outcome list
 (** The full generated campaign against ABP ({!Spec.abp}), both filter
     sides.  [seed] is the campaign seed per-trial seeds are derived
-    from (default {!Campaign.default_seed}). *)
+    from (default {!Campaign.default_seed}); [executor] picks the trial
+    execution strategy (default {!Executor.sequential}). *)

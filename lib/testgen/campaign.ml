@@ -2,14 +2,6 @@ open Pfi_engine
 
 type side = Send_filter | Receive_filter | Both_filters
 
-type 'env harness = {
-  build : seed:int64 -> 'env;
-  sim : 'env -> Sim.t;
-  pfi : 'env -> Pfi_core.Pfi_layer.t;
-  workload : 'env -> unit;
-  check : 'env -> (unit, string) result;
-}
-
 type verdict =
   | Tolerated
   | Violation of string
@@ -20,6 +12,13 @@ type outcome = {
   seed : int64;
   verdict : verdict;
   injected_events : int;
+  trace : Trace.t option;
+}
+
+type trial = {
+  t_fault : Generator.fault;
+  t_side : side;
+  t_seed : int64;
 }
 
 let side_name = function
@@ -34,6 +33,7 @@ let side_of_name = function
   | _ -> None
 
 let default_seed = 31L
+let all_sides = [ Send_filter; Receive_filter; Both_filters ]
 
 (* splitmix64 finalizer (Steele, Lea & Flood) — the same mixer Rng uses,
    applied here to fold campaign seed, fault identity and side into one
@@ -55,9 +55,23 @@ let trial_seed ~campaign_seed ~side fault =
        (mix64 (Int64.add campaign_seed (Generator.fault_key fault)))
        (side_code side))
 
-let run_trial harness ~side ~horizon ~seed ?script fault =
-  let env = harness.build ~seed in
-  let pfi = harness.pfi env in
+let plan ?(sides = all_sides) ?(seed = default_seed) ?(target = "peer") ~spec
+    () =
+  let faults = Generator.campaign ~target spec in
+  List.concat_map
+    (fun side ->
+      List.map
+        (fun fault ->
+          { t_fault = fault;
+            t_side = side;
+            t_seed = trial_seed ~campaign_seed:seed ~side fault })
+        faults)
+    sides
+
+let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
+    ?(capture_trace = false) ?script fault =
+  let env = H.build ~seed in
+  let pfi = H.pfi env in
   let script =
     match script with
     | Some s -> s
@@ -69,25 +83,44 @@ let run_trial harness ~side ~horizon ~seed ?script fault =
    | Both_filters ->
      Pfi_core.Pfi_layer.set_send_filter pfi script;
      Pfi_core.Pfi_layer.set_receive_filter pfi script);
-  harness.workload env;
-  let sim = harness.sim env in
+  H.workload env;
+  let sim = H.sim env in
   Sim.run ~until:horizon sim;
   let injected_events =
     Trace.count ~tag:"testgen.fault" (Sim.trace sim)
     + Trace.count ~tag:"pfi.log" (Sim.trace sim)
   in
   let verdict =
-    match harness.check env with
+    match H.check env with
     | Ok () -> Tolerated
     | Error reason -> Violation reason
   in
-  { fault; side; seed; verdict; injected_events }
+  { fault;
+    side;
+    seed;
+    verdict;
+    injected_events;
+    trace = (if capture_trace then Some (Sim.trace sim) else None) }
 
-let control_trial harness ~horizon ~seed =
-  let env = harness.build ~seed in
-  harness.workload env;
-  Sim.run ~until:horizon (harness.sim env);
-  match harness.check env with
+let run_planned (module H : Harness_intf.HARNESS)
+    ?(executor = Executor.sequential) ?(capture_traces = false) ~horizon
+    trials =
+  Executor.map executor
+    (fun tr ->
+      run_trial
+        (module H : Harness_intf.HARNESS)
+        ~side:tr.t_side ~horizon ~seed:tr.t_seed ~capture_trace:capture_traces
+        tr.t_fault)
+    trials
+
+let control_trial (module H : Harness_intf.HARNESS) ?on_control ~horizon ~seed
+    () =
+  let env = H.build ~seed in
+  H.workload env;
+  Sim.run ~until:horizon (H.sim env);
+  let checked = H.check env in
+  (match on_control with Some f -> f (H.sim env) | None -> ());
+  match checked with
   | Ok () -> ()
   | Error reason ->
     failwith
@@ -96,19 +129,15 @@ let control_trial harness ~horizon ~seed =
           (%s) — harness or protocol is broken"
          reason)
 
-let run ?(sides = [ Send_filter; Receive_filter; Both_filters ])
-    ?(seed = default_seed) harness ~spec ~horizon ?(target = "peer") () =
-  control_trial harness ~horizon ~seed;
-  let faults = Generator.campaign ~target spec in
-  List.concat_map
-    (fun side ->
-      List.map
-        (fun fault ->
-          run_trial harness ~side ~horizon
-            ~seed:(trial_seed ~campaign_seed:seed ~side fault)
-            fault)
-        faults)
-    sides
+let run ?(sides = all_sides) ?seed ?executor ?capture_traces ?on_control
+    ?horizon (module H : Harness_intf.HARNESS) () =
+  let seed = Option.value seed ~default:H.default_seed in
+  let horizon = Option.value horizon ~default:H.default_horizon in
+  control_trial (module H : Harness_intf.HARNESS) ?on_control ~horizon ~seed ();
+  plan ~sides ~seed ~target:H.target ~spec:H.spec ()
+  |> run_planned
+       (module H : Harness_intf.HARNESS)
+       ?executor ?capture_traces ~horizon
 
 let summary outcomes =
   let buf = Buffer.create 1024 in

@@ -1,7 +1,8 @@
 (** Deterministic fault-injection campaigns.
 
-    A campaign takes a protocol {!Spec.t}, generates the systematic
-    fault set ({!Generator.campaign}), and runs each fault as an
+    A campaign takes a harness (a packed {!Harness_intf.HARNESS}
+    module), generates the systematic fault set for its protocol
+    specification ({!Generator.campaign}), and runs each fault as an
     isolated trial: a fresh simulated system is built, the generated
     script is installed on a PFI layer, the workload runs to a horizon,
     and an oracle checks the protocol's service guarantee.  The result
@@ -13,24 +14,16 @@
     the campaign seed, the fault's identity ({!Generator.fault_key})
     and the filter side ({!trial_seed}), never of the trial's position
     in the run.  Adding, removing or permuting faults or sides
-    therefore cannot change any other trial's verdict, and a single
-    trial can be re-executed byte-for-byte from a recorded
-    {!Repro.t} artifact. *)
+    therefore cannot change any other trial's verdict, a single trial
+    can be re-executed byte-for-byte from a recorded {!Repro.t}
+    artifact, and — because trials share no state — the whole campaign
+    can be executed by any {!Executor.t} (including the multicore
+    domain pool) with byte-identical results: outcomes always come
+    back in canonical {!plan} order, whatever the worker count. *)
 
 open Pfi_engine
 
 type side = Send_filter | Receive_filter | Both_filters
-
-type 'env harness = {
-  build : seed:int64 -> 'env;
-      (** fresh system for one trial (new Sim, network, stacks), seeded
-          with the given per-trial RNG seed *)
-  sim : 'env -> Sim.t;
-  pfi : 'env -> Pfi_core.Pfi_layer.t;  (** where generated scripts go *)
-  workload : 'env -> unit;  (** start the driver traffic *)
-  check : 'env -> (unit, string) result;
-      (** service-guarantee oracle, evaluated after the horizon *)
-}
 
 type verdict =
   | Tolerated
@@ -42,7 +35,18 @@ type outcome = {
   seed : int64;  (** the per-trial RNG seed the trial actually ran with *)
   verdict : verdict;
   injected_events : int;  (** [testgen.fault] trace entries *)
+  trace : Trace.t option;
+      (** the trial sim's full trace, kept when the trial ran with
+          [capture_trace]; [None] otherwise *)
 }
+
+type trial = {
+  t_fault : Generator.fault;
+  t_side : side;
+  t_seed : int64;  (** derived via {!trial_seed} *)
+}
+(** One campaign trial descriptor: everything an {!Executor.t} worker
+    needs to run the trial on a fresh system of its own. *)
 
 val side_name : side -> string
 (** ["send"], ["receive"] or ["both"] — the inverse of {!side_of_name}. *)
@@ -52,28 +56,52 @@ val side_of_name : string -> side option
 val default_seed : int64
 (** Campaign seed used when none is given (31). *)
 
+val all_sides : side list
+(** Send, receive, both — the default campaign side set, in canonical
+    order. *)
+
 val trial_seed : campaign_seed:int64 -> side:side -> Generator.fault -> int64
 (** The per-trial seed: splitmix64-mixed from the campaign seed, the
     fault's {!Generator.fault_key} and the side.  Pure, so a recorded
     trial replays identically and sibling trials cannot perturb it. *)
 
+val plan :
+  ?sides:side list -> ?seed:int64 -> ?target:string -> spec:Spec.t -> unit ->
+  trial list
+(** The campaign's canonical trial list: every generated fault on every
+    requested side (default {!all_sides}), each with its derived
+    {!trial_seed}.  Summaries, trace exports and repro artifacts follow
+    this order regardless of which executor ran the trials. *)
+
 val run_trial :
-  'env harness -> side:side -> horizon:Vtime.t -> seed:int64 ->
-  ?script:string -> Generator.fault -> outcome
+  Harness_intf.packed -> side:side -> horizon:Vtime.t -> seed:int64 ->
+  ?capture_trace:bool -> ?script:string -> Generator.fault -> outcome
 (** One isolated trial.  [script] overrides the generated filter text —
     replay installs the recorded script bytes rather than regenerating
     them, so an artifact stays reproducible even if the generator's
-    templates later change. *)
+    templates later change.  [capture_trace] keeps the trial sim's
+    {!Trace.t} on the outcome (default false). *)
+
+val run_planned :
+  Harness_intf.packed -> ?executor:Executor.t -> ?capture_traces:bool ->
+  horizon:Vtime.t -> trial list -> outcome list
+(** Executes an explicit trial list through an executor (default
+    {!Executor.sequential}).  Outcomes are returned in trial-list
+    order for any executor.  A trial whose runner raised re-raises
+    after every other trial has completed. *)
 
 val run :
-  ?sides:side list -> ?seed:int64 -> 'env harness -> spec:Spec.t ->
-  horizon:Vtime.t -> ?target:string -> unit -> outcome list
-(** The whole campaign: every generated fault on every requested side
-    (default: send, receive, and both-at-once), each in a fresh system
-    with its own {!trial_seed}.  Also runs one fault-free control trial
-    first (seeded with the campaign seed) and raises [Failure] if the
-    oracle rejects it (a broken harness would make every verdict
-    meaningless). *)
+  ?sides:side list -> ?seed:int64 -> ?executor:Executor.t ->
+  ?capture_traces:bool -> ?on_control:(Sim.t -> unit) -> ?horizon:Vtime.t ->
+  Harness_intf.packed -> unit -> outcome list
+(** The whole campaign: {!plan} then {!run_planned}, using the
+    harness's spec, target, default horizon and default seed unless
+    overridden.  Also runs one fault-free control trial first — on the
+    calling domain, seeded with the campaign seed — and raises
+    [Failure] if the oracle rejects it (a broken harness would make
+    every verdict meaningless).  [on_control] receives the control
+    trial's sim after it ran (front ends use it to export the control
+    trace). *)
 
 val summary : outcome list -> string
 (** Human-readable table of outcomes. *)

@@ -1,0 +1,71 @@
+type t = {
+  exec_name : string;
+  width : int;
+  try_map : 'a 'b. (('a -> 'b) -> 'a list -> ('b, exn) result list);
+}
+
+let name t = t.exec_name
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let guarded f x = try Ok (f x) with e -> Error e
+
+let sequential =
+  { exec_name = "sequential";
+    width = 1;
+    try_map = (fun f items -> List.map (guarded f) items) }
+
+(* The shared work queue is just an atomic cursor over the input array:
+   a worker claims [step] consecutive indexes per fetch-and-add and
+   writes each result into its own slot, so the output order is the
+   input order no matter which domain finishes when.  Slots are
+   published to the caller by [Domain.join]'s happens-before edge. *)
+let pooled_map ~jobs ~step f items =
+  let input = Array.of_list items in
+  let n = Array.length input in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let lo = Atomic.fetch_and_add cursor step in
+        if lo < n then begin
+          for i = lo to min (lo + step) n - 1 do
+            results.(i) <- Some (guarded f input.(i))
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = min (jobs - 1) (((n + step - 1) / step) - 1) in
+    let pool = List.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join pool;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let domains ?jobs () =
+  let jobs =
+    max 1 (match jobs with Some j -> j | None -> default_jobs ())
+  in
+  { exec_name = Printf.sprintf "domains(%d)" jobs;
+    width = jobs;
+    try_map = (fun f items -> pooled_map ~jobs ~step:1 f items) }
+
+let chunked ?jobs ?(chunk = 4) () =
+  let jobs =
+    max 1 (match jobs with Some j -> j | None -> default_jobs ())
+  in
+  let chunk = max 1 chunk in
+  { exec_name = Printf.sprintf "chunked(%d,%d)" jobs chunk;
+    width = jobs;
+    try_map = (fun f items -> pooled_map ~jobs ~step:chunk f items) }
+
+let of_jobs jobs = if jobs <= 1 then sequential else domains ~jobs ()
+
+let map t f items =
+  let results = t.try_map f items in
+  List.map (function Ok v -> v | Error e -> raise e) results

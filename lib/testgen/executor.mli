@@ -1,0 +1,64 @@
+(** Pluggable trial execution strategies for campaigns.
+
+    A campaign is a list of independent trial descriptors plus a pure
+    trial-runner closure: every trial builds its own fresh simulated
+    system from its own derived seed ({!Campaign.trial_seed}), so
+    trials share no state and their verdicts cannot depend on execution
+    order.  An executor decides only {e how} that list is mapped —
+    sequentially, across a pool of OCaml 5 domains, or in batches — and
+    always yields results in input order, so campaign summaries and
+    trace exports are byte-identical for any worker count.
+
+    The type is a first-class record of a polymorphic mapping function,
+    not a closed variant: callers can plug in their own strategy
+    (remote workers, rate-limited runners, ...) without touching
+    {!Campaign}. *)
+
+type t = {
+  exec_name : string;  (** e.g. ["sequential"], ["domains(4)"] *)
+  width : int;
+      (** degree of parallelism; batch-oriented consumers (e.g.
+          {!Shrink.minimize}) dispatch work in groups of [width] *)
+  try_map : 'a 'b. (('a -> 'b) -> 'a list -> ('b, exn) result list);
+      (** Maps the runner over the items, returning per-item results in
+          input order.  An item whose runner raises yields [Error exn]
+          in its slot; every other item is still executed — no trial is
+          lost to a sibling's exception. *)
+}
+
+val sequential : t
+(** The default: plain in-order [List.map] on the calling domain —
+    exactly the pre-executor campaign behaviour. *)
+
+val domains : ?jobs:int -> unit -> t
+(** A pool of [jobs] workers (the calling domain plus [jobs - 1]
+    spawned domains) pulling trial indexes from a shared atomic work
+    queue.  Results land in a per-index slot, so completion order —
+    which is scheduling-dependent — never reorders outcomes.  [jobs]
+    defaults to {!default_jobs} and is clamped to at least 1.
+
+    Safe because each trial builds its own fresh [Sim]/stack from its
+    descriptor seed: workers share only the read-only runner closure,
+    the input array and the atomic queue head.  Runners must not rely
+    on process-global hooks such as [Sim.set_create_hook] (see its
+    documentation). *)
+
+val chunked : ?jobs:int -> ?chunk:int -> unit -> t
+(** Like {!domains}, but workers claim [chunk] consecutive trials per
+    queue operation (default 4), amortizing dispatch overhead across a
+    batch — worthwhile when individual trials are very short.  With
+    [jobs = 1] this is {!sequential} plus batching. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of
+    useful parallelism on this machine. *)
+
+val of_jobs : int -> t
+(** The conventional CLI mapping for [--jobs N]: [1] (or less) is
+    {!sequential}, anything larger is [domains ~jobs:N ()]. *)
+
+val name : t -> string
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [try_map] with errors re-raised: runs {e every} item to completion,
+    then re-raises the first (lowest-index) exception, if any. *)

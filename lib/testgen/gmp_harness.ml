@@ -12,87 +12,97 @@ type env = {
 
 let default_horizon = Vtime.sec 450
 let fault_clear_at = Vtime.sec 300
-
-let harness ?(bugs = Gmd.no_bugs) () =
-  let n = 3 in
-  let config = { Gmd.default_config with Gmd.bugs } in
-  let build ~seed =
-    let sim = Sim.create ~seed () in
-    let net = Network.create sim in
-    let names = List.init n (fun i -> (Printf.sprintf "n%d" (i + 1), i + 1)) in
-    let pfi_ref = ref None in
-    let gmds =
-      List.map
-        (fun (name, node_id) ->
-          let peers = List.filter (fun (m, _) -> m <> name) names in
-          let gmd = Gmd.create ~sim ~node:name ~id:node_id ~peers ~config () in
-          let rel = Rel_udp.create ~sim ~node:name () in
-          let device = Network.attach net ~node:name in
-          if node_id = 1 then begin
-            let pfi =
-              Pfi_core.Pfi_layer.create ~sim ~node:name ~stub:Gmp_stub.stub ()
-            in
-            pfi_ref := Some pfi;
-            Layer.stack
-              [ Gmd.layer gmd; Rel_udp.layer rel; Pfi_core.Pfi_layer.layer pfi;
-                device ]
-          end
-          else Layer.stack [ Gmd.layer gmd; Rel_udp.layer rel; device ];
-          gmd)
-        names
-    in
-    { sim; pfi = Option.get !pfi_ref; gmds; n }
-  in
-  let workload env =
-    List.iteri
-      (fun i gmd ->
-        ignore (Sim.schedule env.sim ~delay:(Vtime.sec i) (fun () -> Gmd.start gmd)))
-      env.gmds;
-    (* the fault window is transient: heal and let the group re-form *)
-    ignore
-      (Sim.schedule env.sim ~delay:fault_clear_at (fun () ->
-           Pfi_core.Pfi_layer.clear_send_filter env.pfi;
-           Pfi_core.Pfi_layer.clear_receive_filter env.pfi))
-  in
-  let check env =
-    let views = List.map Gmd.view env.gmds in
-    let full = List.init env.n (fun i -> i + 1) in
-    let trace = Sim.trace env.sim in
-    match views with
-    | first :: rest ->
-      if first.Gmd.members <> full then
-        Error
-          (Printf.sprintf "final view is [%s], not the full membership"
-             (String.concat "," (List.map string_of_int first.Gmd.members)))
-      else if
-        not
-          (List.for_all
-             (fun v ->
-               v.Gmd.group_id = first.Gmd.group_id
-               && v.Gmd.members = first.Gmd.members)
-             rest)
-      then Error "daemons disagree on the final view"
-      else if Trace.count ~tag:"gmp.spurious-timeout" trace > 0 then
-        Error "a timer fired while IN_TRANSITION"
-      else if Trace.count ~tag:"gmp.proclaim-fwd" trace > 100 then
-        Error
-          (Printf.sprintf "proclaim storm (%d forwards)"
-             (Trace.count ~tag:"gmp.proclaim-fwd" trace))
-      else Ok ()
-    | [] -> Error "no daemons"
-  in
-  { Campaign.build;
-    Campaign.sim = (fun env -> env.sim);
-    Campaign.pfi = (fun env -> env.pfi);
-    Campaign.workload;
-    Campaign.check }
-
 let default_seed = 57L
 
-let run_campaign ?bugs ?(seed = default_seed) () =
-  match
-    Campaign.run ~seed (harness ?bugs ()) ~spec:Spec.gmp
-      ~horizon:default_horizon ~target:"n2" ()
-  with
+let harness ?(bugs = Gmd.no_bugs) () : Harness_intf.packed =
+  (module struct
+    type nonrec env = env
+
+    let name = if bugs = Gmd.no_bugs then "gmp" else "gmp-buggy"
+
+    let description =
+      if bugs = Gmd.no_bugs then "group membership protocol, correct"
+      else "GMP with the paper's three bugs re-implanted"
+
+    let spec = Spec.gmp
+    let target = "n2"
+    let default_horizon = default_horizon
+    let default_seed = default_seed
+
+    let n = 3
+    let config = { Gmd.default_config with Gmd.bugs }
+
+    let build ~seed =
+      let sim = Sim.create ~seed () in
+      let net = Network.create sim in
+      let names = List.init n (fun i -> (Printf.sprintf "n%d" (i + 1), i + 1)) in
+      let pfi_ref = ref None in
+      let gmds =
+        List.map
+          (fun (name, node_id) ->
+            let peers = List.filter (fun (m, _) -> m <> name) names in
+            let gmd = Gmd.create ~sim ~node:name ~id:node_id ~peers ~config () in
+            let rel = Rel_udp.create ~sim ~node:name () in
+            let device = Network.attach net ~node:name in
+            if node_id = 1 then begin
+              let pfi =
+                Pfi_core.Pfi_layer.create ~sim ~node:name ~stub:Gmp_stub.stub ()
+              in
+              pfi_ref := Some pfi;
+              Layer.stack
+                [ Gmd.layer gmd; Rel_udp.layer rel;
+                  Pfi_core.Pfi_layer.layer pfi; device ]
+            end
+            else Layer.stack [ Gmd.layer gmd; Rel_udp.layer rel; device ];
+            gmd)
+          names
+      in
+      { sim; pfi = Option.get !pfi_ref; gmds; n }
+
+    let sim env = env.sim
+    let pfi env = env.pfi
+
+    let workload env =
+      List.iteri
+        (fun i gmd ->
+          ignore
+            (Sim.schedule env.sim ~delay:(Vtime.sec i) (fun () -> Gmd.start gmd)))
+        env.gmds;
+      (* the fault window is transient: heal and let the group re-form *)
+      ignore
+        (Sim.schedule env.sim ~delay:fault_clear_at (fun () ->
+             Pfi_core.Pfi_layer.clear_send_filter env.pfi;
+             Pfi_core.Pfi_layer.clear_receive_filter env.pfi))
+
+    let check env =
+      let views = List.map Gmd.view env.gmds in
+      let full = List.init env.n (fun i -> i + 1) in
+      let trace = Sim.trace env.sim in
+      match views with
+      | first :: rest ->
+        if first.Gmd.members <> full then
+          Error
+            (Printf.sprintf "final view is [%s], not the full membership"
+               (String.concat "," (List.map string_of_int first.Gmd.members)))
+        else if
+          not
+            (List.for_all
+               (fun v ->
+                 v.Gmd.group_id = first.Gmd.group_id
+                 && v.Gmd.members = first.Gmd.members)
+               rest)
+        then Error "daemons disagree on the final view"
+        else if Trace.count ~tag:"gmp.spurious-timeout" trace > 0 then
+          Error "a timer fired while IN_TRANSITION"
+        else if Trace.count ~tag:"gmp.proclaim-fwd" trace > 100 then
+          Error
+            (Printf.sprintf "proclaim storm (%d forwards)"
+               (Trace.count ~tag:"gmp.proclaim-fwd" trace))
+        else Ok ()
+      | [] -> Error "no daemons"
+  end)
+
+let run_campaign ?bugs ?seed ?executor () =
+  match Campaign.run ?seed ?executor (harness ?bugs ()) () with
   | outcomes -> Ok outcomes
   | exception Failure reason -> Error reason

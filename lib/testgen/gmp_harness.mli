@@ -16,10 +16,10 @@
     fault-free control trial, for the proclaim loop) rediscovers the
     paper's implanted defects. *)
 
-type env
-
-val harness :
-  ?bugs:Pfi_gmp.Gmd.bugs -> unit -> env Campaign.harness
+val harness : ?bugs:Pfi_gmp.Gmd.bugs -> unit -> Harness_intf.packed
+(** A packed {!Harness_intf.HARNESS}: registry name ["gmp"] (or
+    ["gmp-buggy"] with any bug implanted), spec {!Spec.gmp}, target
+    ["n2"]. *)
 
 val default_horizon : Pfi_engine.Vtime.t
 
@@ -29,7 +29,7 @@ val default_seed : int64
     trial seeds. *)
 
 val run_campaign :
-  ?bugs:Pfi_gmp.Gmd.bugs -> ?seed:int64 -> unit ->
+  ?bugs:Pfi_gmp.Gmd.bugs -> ?seed:int64 -> ?executor:Executor.t -> unit ->
   (Campaign.outcome list, string) result
 (** [Error reason] when even the fault-free control trial violates the
     oracle (which is itself a finding when bugs are implanted). *)

@@ -1,0 +1,61 @@
+(** The campaign-harness interface, as a first-class module type.
+
+    A harness is everything a campaign needs to run trials against one
+    system under test: identity (name, description), the protocol
+    {!Spec.t} scripts are generated from, stock parameters (target
+    node, horizon, campaign seed), and the trial life-cycle — build a
+    fresh simulated system from a seed, point at its [Sim] and PFI
+    layer, start the workload, evaluate the oracle.
+
+    The environment type is existential, so harnesses travel as packed
+    modules ({!packed}): {!Registry.find} hands one straight to
+    {!Campaign.run} / {!Campaign.run_trial} with no per-call-site
+    re-wrapping.  [build] must return a completely fresh system (new
+    [Sim], network, stacks) sharing nothing with sibling trials —
+    that isolation is what lets {!Executor.domains} run trials on
+    concurrent domains. *)
+
+open Pfi_engine
+
+module type HARNESS = sig
+  type env
+
+  val name : string
+  (** Registry/artifact name, e.g. ["abp-buggy"]. *)
+
+  val description : string
+
+  val spec : Spec.t
+  (** The protocol specification campaigns generate faults from. *)
+
+  val target : string
+  (** Node spurious injections are addressed to. *)
+
+  val default_horizon : Vtime.t
+  val default_seed : int64
+  (** Campaign seed when none is given. *)
+
+  val build : seed:int64 -> env
+  (** Fresh system for one trial (new Sim, network, stacks), seeded
+      with the given per-trial RNG seed.  Must not capture or mutate
+      state shared with other trials. *)
+
+  val sim : env -> Sim.t
+  val pfi : env -> Pfi_core.Pfi_layer.t
+  (** Where generated scripts are installed. *)
+
+  val workload : env -> unit
+  (** Start the driver traffic. *)
+
+  val check : env -> (unit, string) result
+  (** Service-guarantee oracle, evaluated after the horizon. *)
+end
+
+type packed = (module HARNESS)
+
+let name (module H : HARNESS) = H.name
+let description (module H : HARNESS) = H.description
+let spec (module H : HARNESS) = H.spec
+let target (module H : HARNESS) = H.target
+let default_horizon (module H : HARNESS) = H.default_horizon
+let default_seed (module H : HARNESS) = H.default_seed

@@ -1,63 +1,10 @@
-open Pfi_engine
+let entries : Harness_intf.packed list =
+  [ Abp_harness.harness ();
+    Abp_harness.harness ~bug_ignore_ack_bit:true ();
+    Gmp_harness.harness ();
+    Gmp_harness.harness ~bugs:Pfi_gmp.Gmd.all_bugs () ]
 
-type t = {
-  name : string;
-  description : string;
-  spec : Spec.t;
-  target : string;
-  default_horizon : Vtime.t;
-  default_seed : int64;
-  trial :
-    side:Campaign.side -> horizon:Vtime.t -> seed:int64 ->
-    ?script:string -> Generator.fault -> Campaign.outcome;
-  campaign :
-    ?sides:Campaign.side list -> ?seed:int64 -> unit ->
-    (Campaign.outcome list, string) result;
-}
+let names = List.map Harness_intf.name entries
 
-(* The harness type is existential in its environment, so the registry
-   stores closures over a concrete harness rather than the harness
-   itself. *)
-let make ~name ~description ~spec ~target ~default_horizon ~default_seed
-    harness =
-  { name;
-    description;
-    spec;
-    target;
-    default_horizon;
-    default_seed;
-    trial =
-      (fun ~side ~horizon ~seed ?script fault ->
-        Campaign.run_trial harness ~side ~horizon ~seed ?script fault);
-    campaign =
-      (fun ?sides ?(seed = default_seed) () ->
-        match
-          Campaign.run ?sides ~seed harness ~spec ~horizon:default_horizon
-            ~target ()
-        with
-        | outcomes -> Ok outcomes
-        | exception Failure reason -> Error reason) }
-
-let entries =
-  [ make ~name:"abp" ~description:"alternating-bit protocol, correct"
-      ~spec:Spec.abp ~target:"bob" ~default_horizon:Abp_harness.default_horizon
-      ~default_seed:Campaign.default_seed
-      (Abp_harness.harness ());
-    make ~name:"abp-buggy"
-      ~description:"ABP with the implanted ignore-ack-bit bug" ~spec:Spec.abp
-      ~target:"bob" ~default_horizon:Abp_harness.default_horizon
-      ~default_seed:Campaign.default_seed
-      (Abp_harness.harness ~bug_ignore_ack_bit:true ());
-    make ~name:"gmp" ~description:"group membership protocol, correct"
-      ~spec:Spec.gmp ~target:"n2" ~default_horizon:Gmp_harness.default_horizon
-      ~default_seed:Gmp_harness.default_seed
-      (Gmp_harness.harness ());
-    make ~name:"gmp-buggy"
-      ~description:"GMP with the paper's three bugs re-implanted"
-      ~spec:Spec.gmp ~target:"n2" ~default_horizon:Gmp_harness.default_horizon
-      ~default_seed:Gmp_harness.default_seed
-      (Gmp_harness.harness ~bugs:Pfi_gmp.Gmd.all_bugs ()) ]
-
-let names = List.map (fun e -> e.name) entries
-
-let find name = List.find_opt (fun e -> e.name = name) entries
+let find name =
+  List.find_opt (fun entry -> Harness_intf.name entry = name) entries

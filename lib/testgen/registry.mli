@@ -2,34 +2,14 @@
 
     Repro artifacts ({!Repro.t}) record which harness a trial ran
     against as a string; this registry maps that string back to a
-    runnable harness so `pfi_run replay` and `pfi_run shrink` can
-    rebuild the exact system.  The harness environment type is
-    existential, so entries expose closures ([trial], [campaign])
-    rather than the {!Campaign.harness} record itself. *)
+    runnable packed {!Harness_intf.HARNESS} so `pfi_run replay`,
+    `pfi_run shrink` and `pfi_run campaign` can rebuild the exact
+    system and hand the module straight to {!Campaign.run} /
+    {!Campaign.run_trial} — no per-call-site wrapping. *)
 
-open Pfi_engine
-
-type t = {
-  name : string;  (** e.g. ["abp-buggy"] — what artifacts record *)
-  description : string;
-  spec : Spec.t;
-  target : string;  (** node spurious injections are addressed to *)
-  default_horizon : Vtime.t;
-  default_seed : int64;  (** campaign seed when none is given *)
-  trial :
-    side:Campaign.side -> horizon:Vtime.t -> seed:int64 ->
-    ?script:string -> Generator.fault -> Campaign.outcome;
-      (** one isolated trial ({!Campaign.run_trial} on a fresh system) *)
-  campaign :
-    ?sides:Campaign.side list -> ?seed:int64 -> unit ->
-    (Campaign.outcome list, string) result;
-      (** the full campaign; [Error reason] when the fault-free control
-          trial already violates the oracle *)
-}
-
-val entries : t list
+val entries : Harness_intf.packed list
 (** ["abp"], ["abp-buggy"], ["gmp"], ["gmp-buggy"]. *)
 
 val names : string list
 
-val find : string -> t option
+val find : string -> Harness_intf.packed option

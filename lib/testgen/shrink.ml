@@ -129,27 +129,48 @@ type report = {
   trials : int;  (** re-runs spent, accepted or not *)
 }
 
-let minimize ?(max_trials = 1000) ~spec ~run st0 =
+let rec split_at n = function
+  | x :: rest when n > 0 ->
+    let taken, left = split_at (n - 1) rest in
+    (x :: taken, left)
+  | l -> ([], l)
+
+let minimize ?(max_trials = 1000) ?(executor = Executor.sequential) ~spec ~run
+    st0 =
   match (run st0 : Campaign.outcome).Campaign.verdict with
   | Campaign.Tolerated ->
     Error "the starting state does not violate the oracle — nothing to shrink"
   | Campaign.Violation reason0 ->
     let trials = ref 1 in
     let steps = ref [] in
+    (* One descent round: scan the ordered candidate list in batches of
+       the executor's width, accepting the first candidate — in
+       candidate order, not completion order — that still violates.
+       With a sequential executor (width 1) this is exactly the classic
+       one-at-a-time greedy scan, trial count included; a parallel
+       executor evaluates whole batches, so it may spend a few more
+       trials than the sequential descent, but the accepted trajectory
+       is identical as long as the budget does not bind. *)
+    let rec scan cands =
+      if !trials >= max_trials then None
+      else
+        match split_at (min executor.Executor.width (max_trials - !trials)) cands with
+        | [], _ -> None
+        | batch, rest ->
+          trials := !trials + List.length batch;
+          let outcomes = Executor.map executor run batch in
+          let hit =
+            List.find_map
+              (fun (cand, (o : Campaign.outcome)) ->
+                match o.Campaign.verdict with
+                | Campaign.Violation r -> Some (cand, r)
+                | Campaign.Tolerated -> None)
+              (List.combine batch outcomes)
+          in
+          (match hit with Some _ -> hit | None -> scan rest)
+    in
     let rec go st reason =
-      let next =
-        List.find_map
-          (fun cand ->
-            if !trials >= max_trials then None
-            else begin
-              incr trials;
-              match (run cand).Campaign.verdict with
-              | Campaign.Violation r -> Some (cand, r)
-              | Campaign.Tolerated -> None
-            end)
-          (candidates ~spec st)
-      in
-      match next with
+      match scan (candidates ~spec st) with
       | None -> (st, reason)
       | Some (st', reason') ->
         steps := { state = st'; step_size = size st'; reason = reason' } :: !steps;

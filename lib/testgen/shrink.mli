@@ -69,11 +69,20 @@ type report = {
 }
 
 val minimize :
-  ?max_trials:int -> spec:Spec.t -> run:(state -> Campaign.outcome) ->
-  state -> (report, string) Stdlib.result
+  ?max_trials:int -> ?executor:Executor.t -> spec:Spec.t ->
+  run:(state -> Campaign.outcome) -> state -> (report, string) Stdlib.result
 (** Greedy descent: re-runs candidates (via [run], which must be a
-    deterministic trial executor, e.g. {!Campaign.run_trial} with a
+    deterministic trial runner, e.g. {!Campaign.run_trial} with a
     {!Campaign.trial_seed}-derived seed) and repeatedly accepts the
     first — smallest — candidate that still violates, until none does
     or [max_trials] (default 1000) re-runs have been spent.  [Error]
-    if the starting state does not violate the oracle. *)
+    if the starting state does not violate the oracle.
+
+    [executor] (default {!Executor.sequential}) evaluates the
+    independent candidates of each descent round in parallel, in
+    batches of its width; acceptance always goes to the first violating
+    candidate in candidate order, so the accepted trajectory — and
+    hence the minimized state — is the same for any worker count
+    whenever the trial budget does not bind.  A parallel run may spend
+    more of the budget per round (it evaluates whole batches where the
+    sequential scan stops at the first violation). *)

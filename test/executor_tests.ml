@@ -1,0 +1,229 @@
+(* Tests for the pluggable campaign executor: order preservation under
+   real parallelism, exception isolation (no lost trials), the CLI
+   jobs mapping, and byte-identical campaign output for any worker
+   count. *)
+
+open Pfi_testgen
+
+let items n = List.init n (fun i -> i)
+
+(* ------------------------------------------------------------------ *)
+(* Order preservation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sequential_in_order () =
+  Alcotest.(check (list int)) "identity map" (items 10)
+    (Executor.map Executor.sequential (fun i -> i) (items 10));
+  Alcotest.(check (list int)) "empty input" []
+    (Executor.map Executor.sequential (fun i -> i) [])
+
+let test_domains_in_order () =
+  let n = 64 in
+  Alcotest.(check (list int)) "results in input order"
+    (List.map (fun i -> i * i) (items n))
+    (Executor.map (Executor.domains ~jobs:4 ()) (fun i -> i * i) (items n))
+
+(* a deliberately slow early trial: item 0 sleeps long enough that on a
+   multicore host every other worker finishes first, so any
+   completion-order dependence would reorder the results *)
+let test_domains_slow_trial_no_reorder () =
+  let slow i =
+    if i = 0 then Unix.sleepf 0.25
+    else if i < 4 then Unix.sleepf 0.01;
+    i
+  in
+  Alcotest.(check (list int)) "slow first trial lands in slot 0" (items 16)
+    (Executor.map (Executor.domains ~jobs:4 ()) slow (items 16))
+
+let test_chunked_matches_sequential () =
+  let f i = (i * 37) mod 11 in
+  let expected = Executor.map Executor.sequential f (items 33) in
+  List.iter
+    (fun (jobs, chunk) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunked jobs=%d chunk=%d" jobs chunk)
+        expected
+        (Executor.map (Executor.chunked ~jobs ~chunk ()) f (items 33)))
+    [ (1, 1); (1, 4); (2, 4); (4, 5); (4, 100) ]
+
+let test_more_jobs_than_items () =
+  Alcotest.(check (list int)) "jobs > items" (items 3)
+    (Executor.map (Executor.domains ~jobs:8 ()) (fun i -> i) (items 3))
+
+(* ------------------------------------------------------------------ *)
+(* Exception isolation: no lost trials                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Trial_failed of int
+
+let test_no_lost_trials_on_exception () =
+  List.iter
+    (fun executor ->
+      let ran = Atomic.make 0 in
+      let runner i =
+        Atomic.incr ran;
+        if i mod 3 = 1 then raise (Trial_failed i) else i
+      in
+      let results = executor.Executor.try_map runner (items 12) in
+      (* every trial executed, despite four sibling failures *)
+      Alcotest.(check int)
+        (Executor.name executor ^ ": every trial ran")
+        12 (Atomic.get ran);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "value in its own slot" i v
+          | Error (Trial_failed j) ->
+            Alcotest.(check int) "error in its own slot" i j;
+            Alcotest.(check bool) "only the raising trials fail" true
+              (i mod 3 = 1)
+          | Error e -> raise e)
+        results)
+    [ Executor.sequential; Executor.domains ~jobs:3 ();
+      Executor.chunked ~jobs:2 ~chunk:2 () ]
+
+let test_map_reraises_first_by_index () =
+  (* item 2 fails; on a pool, item 7's failure may complete first, but
+     map must surface the lowest-index error *)
+  let runner i =
+    if i = 2 || i = 7 then raise (Trial_failed i) else i
+  in
+  List.iter
+    (fun executor ->
+      match Executor.map executor runner (items 10) with
+      | _ -> Alcotest.fail "map swallowed the trial exception"
+      | exception Trial_failed i ->
+        Alcotest.(check int)
+          (Executor.name executor ^ ": first error by index")
+          2 i)
+    [ Executor.sequential; Executor.domains ~jobs:4 () ]
+
+(* ------------------------------------------------------------------ *)
+(* CLI mapping and naming                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_jobs () =
+  Alcotest.(check string) "jobs<=1 is sequential" "sequential"
+    (Executor.name (Executor.of_jobs 1));
+  Alcotest.(check string) "jobs=0 clamps to sequential" "sequential"
+    (Executor.name (Executor.of_jobs 0));
+  Alcotest.(check string) "jobs=4 is a domain pool" "domains(4)"
+    (Executor.name (Executor.of_jobs 4));
+  Alcotest.(check int) "width matches jobs" 4 (Executor.of_jobs 4).Executor.width;
+  Alcotest.(check int) "sequential width" 1 Executor.sequential.Executor.width;
+  Alcotest.(check bool) "default_jobs positive" true (Executor.default_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns: byte-identical output for any worker count              *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_bytes (module H : Harness_intf.HARNESS) jobs =
+  let outcomes =
+    Campaign.run ~executor:(Executor.of_jobs jobs)
+      (module H : Harness_intf.HARNESS)
+      ()
+  in
+  let artifacts =
+    List.map
+      (fun o ->
+        Repro.to_json
+          (Repro.of_outcome ~harness:H.name ~protocol:H.spec.Spec.protocol
+             ~target:H.target ~horizon:H.default_horizon
+             ~campaign_seed:H.default_seed o))
+      (Campaign.violations outcomes)
+  in
+  Campaign.summary outcomes ^ String.concat "\n" artifacts
+
+let check_jobs_invariant name =
+  let entry =
+    match Registry.find name with
+    | Some e -> e
+    | None -> Alcotest.failf "no registry entry %S" name
+  in
+  let baseline = campaign_bytes entry 1 in
+  Alcotest.(check bool) "campaign produced output" true
+    (String.length baseline > 0);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: jobs=%d byte-identical to jobs=1" name jobs)
+        baseline (campaign_bytes entry jobs))
+    [ 2; 8 ]
+
+let test_campaign_jobs_invariant_abp () = check_jobs_invariant "abp-buggy"
+let test_campaign_jobs_invariant_gmp () = check_jobs_invariant "gmp-buggy"
+
+(* parallel trace capture: the per-outcome traces must also be
+   independent of the worker count *)
+let test_campaign_traces_jobs_invariant () =
+  let traces jobs =
+    List.map
+      (fun (o : Campaign.outcome) ->
+        match o.Campaign.trace with
+        | Some trace -> Pfi_engine.Trace.to_jsonl trace
+        | None -> Alcotest.fail "capture_traces left a trial untraced")
+      (Campaign.run ~executor:(Executor.of_jobs jobs) ~capture_traces:true
+         (Abp_harness.harness ~bug_ignore_ack_bit:true ())
+         ())
+  in
+  Alcotest.(check (list string)) "per-trial traces identical at jobs=4"
+    (traces 1) (traces 4)
+
+(* shrink through a parallel executor: same minimized state and same
+   accepted trajectory as the sequential scan (the budget is not
+   binding, so batched evaluation may only change the trial count) *)
+let test_shrink_executor_same_trajectory () =
+  let st0 =
+    { Shrink.fault = Generator.Byzantine_mix 0.25;
+      Shrink.side = Campaign.Both_filters;
+      Shrink.horizon = Pfi_engine.Vtime.sec 120 }
+  in
+  let run (st : Shrink.state) =
+    { Campaign.fault = st.Shrink.fault;
+      Campaign.side = st.Shrink.side;
+      Campaign.seed = 0L;
+      Campaign.verdict =
+        (* violate only while the fault keeps a byzantine or omission
+           component, so the descent has real accept/reject structure *)
+        (match st.Shrink.fault with
+         | Generator.Byzantine_mix _ | Generator.Omission_all _ ->
+           Campaign.Violation "synthetic"
+         | _ -> Campaign.Tolerated);
+      Campaign.injected_events = 0;
+      Campaign.trace = None }
+  in
+  let minimize executor =
+    match Shrink.minimize ~executor ~spec:Spec.abp ~run st0 with
+    | Ok report -> report
+    | Error e -> Alcotest.failf "minimize failed: %s" e
+  in
+  let seq = minimize Executor.sequential in
+  let par = minimize (Executor.domains ~jobs:4 ()) in
+  Alcotest.(check bool) "same minimized state" true
+    (seq.Shrink.minimized = par.Shrink.minimized);
+  Alcotest.(check bool) "same accepted trajectory" true
+    (List.map (fun s -> s.Shrink.state) seq.Shrink.steps
+    = List.map (fun s -> s.Shrink.state) par.Shrink.steps)
+
+let suite =
+  [ Alcotest.test_case "sequential maps in order" `Quick test_sequential_in_order;
+    Alcotest.test_case "domain pool preserves input order" `Quick
+      test_domains_in_order;
+    Alcotest.test_case "slow trial does not reorder results" `Quick
+      test_domains_slow_trial_no_reorder;
+    Alcotest.test_case "chunked executor matches sequential" `Quick
+      test_chunked_matches_sequential;
+    Alcotest.test_case "more workers than trials" `Quick test_more_jobs_than_items;
+    Alcotest.test_case "worker exception loses no trials" `Quick
+      test_no_lost_trials_on_exception;
+    Alcotest.test_case "map re-raises the first error by index" `Quick
+      test_map_reraises_first_by_index;
+    Alcotest.test_case "of_jobs mapping and widths" `Quick test_of_jobs;
+    Alcotest.test_case "abp-buggy campaign byte-identical at jobs 1/2/8" `Slow
+      test_campaign_jobs_invariant_abp;
+    Alcotest.test_case "gmp-buggy campaign byte-identical at jobs 1/2/8" `Slow
+      test_campaign_jobs_invariant_gmp;
+    Alcotest.test_case "per-trial traces byte-identical at jobs 4" `Slow
+      test_campaign_traces_jobs_invariant;
+    Alcotest.test_case "parallel shrink keeps the sequential trajectory" `Quick
+      test_shrink_executor_same_trajectory ]

@@ -90,15 +90,25 @@ let test_campaign_summary_deterministic () =
   Alcotest.(check string) "byte-identical summaries" (run ()) (run ())
 
 let test_campaign_traces_deterministic () =
+  (* per-trial trace capture (outcome.trace), the parallel-safe
+     replacement for the old process-wide create hook: control trace
+     first, then every trial trace in canonical plan order *)
   let capture () =
-    let sims = ref [] in
-    Sim.set_create_hook (Some (fun sim -> sims := sim :: !sims));
-    Fun.protect
-      ~finally:(fun () -> Sim.set_create_hook None)
-      (fun () ->
-        ignore (Abp_harness.run_campaign ~bug_ignore_ack_bit:true ());
-        String.concat ""
-          (List.rev_map (fun sim -> Trace.to_jsonl (Sim.trace sim)) !sims))
+    let control = ref "" in
+    let outcomes =
+      Campaign.run ~capture_traces:true
+        ~on_control:(fun sim -> control := Trace.to_jsonl (Sim.trace sim))
+        (Abp_harness.harness ~bug_ignore_ack_bit:true ())
+        ()
+    in
+    !control
+    ^ String.concat ""
+        (List.map
+           (fun o ->
+             match o.Campaign.trace with
+             | Some trace -> Trace.to_jsonl trace
+             | None -> Alcotest.fail "capture_traces left a trial untraced")
+           outcomes)
   in
   let first = capture () in
   let second = capture () in
@@ -107,10 +117,7 @@ let test_campaign_traces_deterministic () =
 
 let test_side_permutation_leaves_verdicts () =
   let harness = Abp_harness.harness ~bug_ignore_ack_bit:true () in
-  let run sides =
-    Campaign.run ~sides harness ~spec:Spec.abp
-      ~horizon:Abp_harness.default_horizon ~target:"bob" ()
-  in
+  let run sides = Campaign.run ~sides harness () in
   let canon outcomes =
     List.sort compare
       (List.map
@@ -302,7 +309,8 @@ let synthetic_outcome verdict st =
     Campaign.side = st.Shrink.side;
     Campaign.seed = 0L;
     Campaign.verdict;
-    Campaign.injected_events = 0 }
+    Campaign.injected_events = 0;
+    Campaign.trace = None }
 
 let test_minimize_always_violating () =
   let st0 =
@@ -369,7 +377,8 @@ let test_registry_lookup () =
   List.iter
     (fun name ->
       match Registry.find name with
-      | Some e -> Alcotest.(check string) "name matches" name e.Registry.name
+      | Some entry ->
+        Alcotest.(check string) "name matches" name (Harness_intf.name entry)
       | None -> Alcotest.failf "registry lost %S" name)
     Registry.names;
   Alcotest.(check bool) "unknown name" true (Registry.find "tcp-buggy" = None)
@@ -383,19 +392,21 @@ let registry_exn name =
   | Some e -> e
   | None -> Alcotest.failf "no registry entry %S" name
 
-let shrink_via_registry (entry : Registry.t) st0 =
+let shrink_via_registry (module H : Harness_intf.HARNESS) st0 =
   let run (st : Shrink.state) =
-    entry.Registry.trial ~side:st.Shrink.side ~horizon:st.Shrink.horizon
+    Campaign.run_trial
+      (module H : Harness_intf.HARNESS)
+      ~side:st.Shrink.side ~horizon:st.Shrink.horizon
       ~seed:
-        (Campaign.trial_seed ~campaign_seed:entry.Registry.default_seed
+        (Campaign.trial_seed ~campaign_seed:H.default_seed
            ~side:st.Shrink.side st.Shrink.fault)
       st.Shrink.fault
   in
-  Shrink.minimize ~spec:entry.Registry.spec ~run st0
+  Shrink.minimize ~spec:H.spec ~run st0
 
 let check_shrinks_and_replays ~name st0 =
-  let entry = registry_exn name in
-  match shrink_via_registry entry st0 with
+  let (module H : Harness_intf.HARNESS) = registry_exn name in
+  match shrink_via_registry (module H : Harness_intf.HARNESS) st0 with
   | Error e -> Alcotest.failf "shrink of the %s violation failed: %s" name e
   | Ok report ->
     Alcotest.(check bool) "strictly smaller" true
@@ -404,12 +415,13 @@ let check_shrinks_and_replays ~name st0 =
        twice from its derived seed and require identical outcomes *)
     let st = report.Shrink.minimized in
     let seed =
-      Campaign.trial_seed ~campaign_seed:entry.Registry.default_seed
-        ~side:st.Shrink.side st.Shrink.fault
+      Campaign.trial_seed ~campaign_seed:H.default_seed ~side:st.Shrink.side
+        st.Shrink.fault
     in
     let replay () =
-      entry.Registry.trial ~side:st.Shrink.side ~horizon:st.Shrink.horizon
-        ~seed st.Shrink.fault
+      Campaign.run_trial
+        (module H : Harness_intf.HARNESS)
+        ~side:st.Shrink.side ~horizon:st.Shrink.horizon ~seed st.Shrink.fault
     in
     let first = replay () in
     let second = replay () in
