@@ -11,6 +11,9 @@
                                    --jobs N runs trials on N domains
    - `pfi-run shrink <file>`       minimize a violating repro artifact
    - `pfi-run replay <file>`       deterministically re-execute an artifact
+   - `pfi-run check <file>...`     run *.pfis scenario conformance scripts
+                                   (--jobs N runs scenarios on N domains;
+                                   output is byte-identical for any N)
    - `pfi-run help [<cmd>]`        the normalized option table
 
    Every subcommand draws its flags from one option-spec table (Copts
@@ -96,7 +99,10 @@ module Copts = struct
       ("shrink", "FILE", "Minimize a violating repro artifact.",
        [ seed; trace_out; json; jobs; output; max_trials ]);
       ("replay", "FILE", "Deterministically re-execute a repro artifact.",
-       [ seed; trace_out; json ]) ]
+       [ seed; trace_out; json ]);
+      ("check", "FILE...",
+       "Run packetdrill-style scenario conformance scripts (*.pfis).",
+       [ seed; trace_out; json; jobs ]) ]
 
   (* Cmdliner terms, generated from the specs *)
   let flag_term spec = Arg.(value & flag & info [ spec.flag ] ~doc:spec.doc)
@@ -360,8 +366,8 @@ let repl seed =
     | exception End_of_file -> ()
     | "quit" | "exit" -> ()
     | line ->
-      Pfi_core.Pfi_layer.set_send_filter pfi line;
       (try
+         Pfi_core.Pfi_layer.set_send_filter pfi line;
          let msg = Pfi_tcp.Segment.to_message sample ~dst:"peer" in
          Layer.push (Pfi_core.Pfi_layer.layer pfi) msg;
          Sim.run sim
@@ -770,6 +776,138 @@ let shrink_cmd =
       $ Copts.seed_term $ Copts.jobs_term $ Copts.trace_out_term
       $ Copts.json_term)
 
+(* ------------------------------------------------------------------ *)
+(* Scenario conformance scripts                                       *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_row_json (r : Pfi_testgen.Scenario.row) =
+  let open Pfi_testgen in
+  Repro.Json.Obj
+    [ ("line", Repro.Json.Int r.Scenario.row_line);
+      ("check", json_str r.Scenario.row_desc);
+      ("pass", Repro.Json.Bool r.Scenario.row_pass);
+      ("reason", json_str r.Scenario.row_reason);
+      ("witness",
+       match r.Scenario.row_witness with
+       | Some i -> Repro.Json.Int i
+       | None -> Repro.Json.Null) ]
+
+let scenario_result_json file (r : Pfi_testgen.Scenario.result) =
+  let open Pfi_testgen in
+  Repro.Json.Obj
+    [ ("file", json_str file);
+      ("scenario", json_str r.Scenario.res_scenario);
+      ("harness", json_str r.Scenario.res_harness);
+      ("seed", json_str (Int64.to_string r.Scenario.res_seed));
+      ("horizon_us",
+       json_str (Int64.to_string (Pfi_engine.Vtime.to_us r.Scenario.res_horizon)));
+      ("outcome", json_str (Scenario.outcome_name r.Scenario.res_outcome));
+      ("xfail",
+       (match r.Scenario.res_xfail with
+        | Some s -> json_str s
+        | None -> Repro.Json.Null));
+      ("checks", Repro.Json.List (List.map scenario_row_json r.Scenario.res_rows)) ]
+
+let print_scenario_result file (r : Pfi_testgen.Scenario.result) =
+  let open Pfi_testgen in
+  let verdict =
+    match r.Scenario.res_outcome with
+    | Scenario.Pass -> "pass"
+    | Scenario.Xfail -> "xfail (failed as declared)"
+    | Scenario.Fail -> "FAIL"
+    | Scenario.Xpass -> "XPASS (declared xfail, but every check held)"
+  in
+  Printf.printf "%s: %s  [%s, harness %s, seed %Ld]\n" file verdict
+    r.Scenario.res_scenario r.Scenario.res_harness r.Scenario.res_seed;
+  List.iter
+    (fun (row : Scenario.row) ->
+      if row.Scenario.row_pass then
+        Printf.printf "  ok    L%-3d %s\n" row.Scenario.row_line
+          row.Scenario.row_desc
+      else
+        Printf.printf "  FAIL  L%-3d %s\n        %s\n" row.Scenario.row_line
+          row.Scenario.row_desc row.Scenario.row_reason)
+    r.Scenario.res_rows
+
+(* scenarios are independent, so they run through Executor.of_jobs like
+   campaign trials; results print in input order, so stdout (ASCII or
+   JSON) is byte-identical for any worker count *)
+let check files trace_out seed jobs json =
+  let open Pfi_testgen in
+  let executor = Executor.of_jobs jobs in
+  let capture = trace_out <> None in
+  let results =
+    Executor.map executor
+      (fun file ->
+        match Scenario.load file with
+        | sc -> Ok (Scenario.run ?seed ~capture_trace:capture sc)
+        | exception Scenario.Parse_error e ->
+          Error (Scenario.error_message ~file e)
+        | exception Sys_error m -> Error m)
+      files
+  in
+  let failed = ref 0 and xfailed = ref 0 in
+  List.iter2
+    (fun file res ->
+      match res with
+      | Error msg ->
+        incr failed;
+        if json then
+          json_print
+            (Repro.Json.Obj [ ("file", json_str file); ("error", json_str msg) ])
+        else Printf.printf "%s: PARSE ERROR\n  %s\n" file msg
+      | Ok r ->
+        if not (Scenario.passed r) then incr failed;
+        if r.Scenario.res_outcome = Scenario.Xfail then incr xfailed;
+        if json then json_print (scenario_result_json file r)
+        else print_scenario_result file r)
+    files results;
+  if json then
+    json_print
+      (Repro.Json.Obj
+         [ ("scenarios", Repro.Json.Int (List.length files));
+           ("failed", Repro.Json.Int !failed);
+           ("xfailed", Repro.Json.Int !xfailed) ])
+  else
+    Printf.printf "-- %d scenarios: %d passed, %d failed (%d expected failures)\n"
+      (List.length files)
+      (List.length files - !failed)
+      !failed !xfailed;
+  (match trace_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_trace_out path in
+     List.iteri
+       (fun i res ->
+         match res with
+         | Ok
+             ({ Scenario.res_trace = Some trace; _ } as r) ->
+           Pfi_engine.Trace.output_jsonl
+             ~extra:
+               [ ("scenario", r.Scenario.res_scenario);
+                 ("sim", string_of_int i) ]
+             oc trace
+         | _ -> ())
+       results;
+     close_out oc);
+  if !failed > 0 then exit 1
+
+let check_cmd =
+  let doc =
+    "Run packetdrill-style scenario conformance scripts (*.pfis): build the \
+     named harness, install the scripted faults and injections, run to the \
+     horizon and judge the trace against every $(b,expect) oracle.  Exit 1 \
+     if any scenario fails.  With $(b,--jobs) N independent scenarios \
+     execute on N domains with byte-identical output."
+  in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const check $ files $ Copts.trace_out_term $ Copts.seed_term
+      $ Copts.jobs_term $ Copts.json_term)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -782,4 +920,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; repl_cmd; msc_cmd; campaign_cmd; shrink_cmd;
-            replay_cmd; help_cmd ]))
+            replay_cmd; check_cmd; help_cmd ]))

@@ -110,6 +110,23 @@ let iter ?node ?tag f t =
       f t.store.(Ivec.get v i)
     done
 
+let get t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Trace.get: index %d out of bounds [0, %d)" i t.len);
+  t.store.(i)
+
+let iteri ?node ?tag f t =
+  match lookup ?node ?tag t with
+  | None ->
+    for i = 0 to t.len - 1 do
+      f i t.store.(i)
+    done
+  | Some v ->
+    for i = 0 to Ivec.length v - 1 do
+      let j = Ivec.get v i in
+      f j t.store.(j)
+    done
+
 let find ?node ?tag t =
   let acc = ref [] in
   iter ?node ?tag (fun e -> acc := e :: !acc) t;

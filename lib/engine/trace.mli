@@ -45,6 +45,16 @@ val find : ?node:string -> ?tag:string -> t -> entry list
 val iter : ?node:string -> ?tag:string -> (entry -> unit) -> t -> unit
 (** Like {!find} without materialising the list. *)
 
+val get : t -> int -> entry
+(** Entry by recording index, [0 <= i < length t].  O(1); raises
+    [Invalid_argument] out of range.  Recording indexes are what oracle
+    verdicts cite as witnesses. *)
+
+val iteri : ?node:string -> ?tag:string -> (int -> entry -> unit) -> t -> unit
+(** Like {!iter}, passing each entry's global recording index (not its
+    position within the filtered bucket), so callers can cite entries
+    stably whatever criteria they filtered by. *)
+
 val timestamps : ?node:string -> tag:string -> t -> Vtime.t list
 
 val intervals : ?node:string -> tag:string -> t -> Vtime.t list

@@ -1,9 +1,33 @@
 exception Parse_error of string
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
-
 (* A mutable cursor over the source string. *)
 type cursor = { src : string; mutable pos : int }
+
+(* Error context: every syntax error names the 1-based line of the
+   offending construct and quotes a short excerpt starting at it, so a
+   filter script that dies inside a campaign says where. *)
+let line_at src pos =
+  let line = ref 1 in
+  for i = 0 to Stdlib.min pos (String.length src) - 1 do
+    if src.[i] = '\n' then incr line
+  done;
+  !line
+
+let excerpt src pos =
+  let stop = Stdlib.min (String.length src) (pos + 12) in
+  let raw = String.sub src pos (stop - pos) in
+  match String.index_opt raw '\n' with
+  | Some i -> String.sub raw 0 i
+  | None -> raw
+
+let fail_at c ~start fmt =
+  Format.kasprintf
+    (fun s ->
+      raise
+        (Parse_error
+           (Printf.sprintf "line %d: %s (at %S)" (line_at c.src start) s
+              (excerpt c.src start))))
+    fmt
 
 let eof c = c.pos >= String.length c.src
 let peek c = c.src.[c.pos]
@@ -42,7 +66,8 @@ let scan_var_name c =
     advance c;
     let start = c.pos in
     while (not (eof c)) && peek c <> '}' do advance c done;
-    if eof c then fail "unterminated ${...} variable reference";
+    if eof c then
+      fail_at c ~start:(start - 2) "unterminated ${...} variable reference";
     let name = String.sub c.src start (c.pos - start) in
     advance c;
     Some name
@@ -63,7 +88,8 @@ let scan_var_name c =
 let scan_bracket c =
   let start = c.pos in
   let rec loop depth brace_depth =
-    if eof c then fail "unterminated [...] command substitution"
+    if eof c then
+      fail_at c ~start:(start - 1) "unterminated [...] command substitution"
     else begin
       let ch = peek c in
       advance c;
@@ -86,7 +112,7 @@ let scan_bracket c =
 let scan_braced c =
   let start = c.pos in
   let rec loop depth =
-    if eof c then fail "unterminated {...} word"
+    if eof c then fail_at c ~start:(start - 1) "unterminated {...} word"
     else begin
       let ch = peek c in
       advance c;
@@ -136,8 +162,9 @@ let scan_tokens c ~stop ~escapes =
   List.rev !tokens
 
 let scan_quoted c =
+  let start = c.pos - 1 in
   let tokens = scan_tokens c ~stop:(fun ch -> ch = '"') ~escapes:true in
-  if eof c then fail "unterminated quoted word";
+  if eof c then fail_at c ~start "unterminated quoted word";
   advance c;
   tokens
 

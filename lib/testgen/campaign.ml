@@ -69,7 +69,7 @@ let plan ?(sides = all_sides) ?(seed = default_seed) ?(target = "peer") ~spec
     sides
 
 let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
-    ?(capture_trace = false) ?script fault =
+    ?(capture_trace = false) ?script ?(oracles = []) fault =
   let env = H.build ~seed in
   let pfi = H.pfi env in
   let script =
@@ -92,8 +92,11 @@ let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
   in
   let verdict =
     match H.check env with
-    | Ok () -> Tolerated
     | Error reason -> Violation reason
+    | Ok () ->
+      (match Oracle.check oracles (Sim.trace sim) with
+       | Ok () -> Tolerated
+       | Error reason -> Violation reason)
   in
   { fault;
     side;
@@ -103,22 +106,26 @@ let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
     trace = (if capture_trace then Some (Sim.trace sim) else None) }
 
 let run_planned (module H : Harness_intf.HARNESS)
-    ?(executor = Executor.sequential) ?(capture_traces = false) ~horizon
-    trials =
+    ?(executor = Executor.sequential) ?(capture_traces = false) ?oracles
+    ~horizon trials =
   Executor.map executor
     (fun tr ->
       run_trial
         (module H : Harness_intf.HARNESS)
         ~side:tr.t_side ~horizon ~seed:tr.t_seed ~capture_trace:capture_traces
-        tr.t_fault)
+        ?oracles tr.t_fault)
     trials
 
-let control_trial (module H : Harness_intf.HARNESS) ?on_control ~horizon ~seed
-    () =
+let control_trial (module H : Harness_intf.HARNESS) ?on_control
+    ?(oracles = []) ~horizon ~seed () =
   let env = H.build ~seed in
   H.workload env;
   Sim.run ~until:horizon (H.sim env);
-  let checked = H.check env in
+  let checked =
+    match H.check env with
+    | Error _ as e -> e
+    | Ok () -> Oracle.check oracles (Sim.trace (H.sim env))
+  in
   (match on_control with Some f -> f (H.sim env) | None -> ());
   match checked with
   | Ok () -> ()
@@ -130,14 +137,16 @@ let control_trial (module H : Harness_intf.HARNESS) ?on_control ~horizon ~seed
          reason)
 
 let run ?(sides = all_sides) ?seed ?executor ?capture_traces ?on_control
-    ?horizon (module H : Harness_intf.HARNESS) () =
+    ?horizon ?oracles (module H : Harness_intf.HARNESS) () =
   let seed = Option.value seed ~default:H.default_seed in
   let horizon = Option.value horizon ~default:H.default_horizon in
-  control_trial (module H : Harness_intf.HARNESS) ?on_control ~horizon ~seed ();
+  control_trial
+    (module H : Harness_intf.HARNESS)
+    ?on_control ?oracles ~horizon ~seed ();
   plan ~sides ~seed ~target:H.target ~spec:H.spec ()
   |> run_planned
        (module H : Harness_intf.HARNESS)
-       ?executor ?capture_traces ~horizon
+       ?executor ?capture_traces ?oracles ~horizon
 
 let summary outcomes =
   let buf = Buffer.create 1024 in

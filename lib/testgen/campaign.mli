@@ -75,16 +75,23 @@ val plan :
 
 val run_trial :
   Harness_intf.packed -> side:side -> horizon:Vtime.t -> seed:int64 ->
-  ?capture_trace:bool -> ?script:string -> Generator.fault -> outcome
+  ?capture_trace:bool -> ?script:string -> ?oracles:Oracle.t list ->
+  Generator.fault -> outcome
 (** One isolated trial.  [script] overrides the generated filter text —
     replay installs the recorded script bytes rather than regenerating
     them, so an artifact stays reproducible even if the generator's
     templates later change.  [capture_trace] keeps the trial sim's
-    {!Trace.t} on the outcome (default false). *)
+    {!Trace.t} on the outcome (default false).  [oracles] are extra
+    {!Oracle.t} conformance predicates evaluated over the trial trace
+    after the harness's own [check]; the first failing oracle turns the
+    verdict into a [Violation] carrying its pointed diagnostic, so a
+    campaign's service guarantee can be stated as data rather than an
+    ad-hoc closure — and shrink/replay handle such violations with no
+    extra plumbing. *)
 
 val run_planned :
   Harness_intf.packed -> ?executor:Executor.t -> ?capture_traces:bool ->
-  horizon:Vtime.t -> trial list -> outcome list
+  ?oracles:Oracle.t list -> horizon:Vtime.t -> trial list -> outcome list
 (** Executes an explicit trial list through an executor (default
     {!Executor.sequential}).  Outcomes are returned in trial-list
     order for any executor.  A trial whose runner raised re-raises
@@ -93,7 +100,7 @@ val run_planned :
 val run :
   ?sides:side list -> ?seed:int64 -> ?executor:Executor.t ->
   ?capture_traces:bool -> ?on_control:(Sim.t -> unit) -> ?horizon:Vtime.t ->
-  Harness_intf.packed -> unit -> outcome list
+  ?oracles:Oracle.t list -> Harness_intf.packed -> unit -> outcome list
 (** The whole campaign: {!plan} then {!run_planned}, using the
     harness's spec, target, default horizon and default seed unless
     overridden.  Also runs one fault-free control trial first — on the

@@ -74,10 +74,16 @@ let harness ?(bugs = Gmd.no_bugs) () : Harness_intf.packed =
              Pfi_core.Pfi_layer.clear_send_filter env.pfi;
              Pfi_core.Pfi_layer.clear_receive_filter env.pfi))
 
+    (* the trace-level guarantees, stated as oracles rather than ad-hoc
+       Trace.count arithmetic: no spurious IN_TRANSITION timer may ever
+       fire, and proclaim forwarding must stay below storm level *)
+    let trace_oracles =
+      [ Oracle.Never (Oracle.pattern ~tag:"gmp.spurious-timeout" ());
+        Oracle.Count (Oracle.pattern ~tag:"gmp.proclaim-fwd" (), Oracle.Le, 100) ]
+
     let check env =
       let views = List.map Gmd.view env.gmds in
       let full = List.init env.n (fun i -> i + 1) in
-      let trace = Sim.trace env.sim in
       match views with
       | first :: rest ->
         if first.Gmd.members <> full then
@@ -92,13 +98,7 @@ let harness ?(bugs = Gmd.no_bugs) () : Harness_intf.packed =
                  && v.Gmd.members = first.Gmd.members)
                rest)
         then Error "daemons disagree on the final view"
-        else if Trace.count ~tag:"gmp.spurious-timeout" trace > 0 then
-          Error "a timer fired while IN_TRANSITION"
-        else if Trace.count ~tag:"gmp.proclaim-fwd" trace > 100 then
-          Error
-            (Printf.sprintf "proclaim storm (%d forwards)"
-               (Trace.count ~tag:"gmp.proclaim-fwd" trace))
-        else Ok ()
+        else Oracle.check trace_oracles (Sim.trace env.sim)
       | [] -> Error "no daemons"
   end)
 

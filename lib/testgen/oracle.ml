@@ -1,0 +1,251 @@
+open Pfi_engine
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type pattern = {
+  p_node : string option;
+  p_tag : string option;
+  p_detail : string option;
+  p_fields : (string * string) list;
+}
+
+let pattern ?node ?tag ?detail ?(fields = []) () =
+  { p_node = node; p_tag = tag; p_detail = detail; p_fields = fields }
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+    at 0
+  end
+
+let pattern_matches p (e : Trace.entry) =
+  (match p.p_node with Some n -> e.Trace.node = n | None -> true)
+  && (match p.p_tag with Some g -> e.Trace.tag = g | None -> true)
+  && (match p.p_detail with
+      | Some d -> contains_sub e.Trace.detail d
+      | None -> true)
+  && List.for_all
+       (fun (k, v) -> List.assoc_opt k e.Trace.fields = Some v)
+       p.p_fields
+
+let pattern_describe p =
+  let atoms =
+    (match p.p_node with Some n -> [ "node=" ^ n ] | None -> [])
+    @ (match p.p_tag with Some g -> [ "tag=" ^ g ] | None -> [])
+    @ (match p.p_detail with Some d -> [ "detail~" ^ d ] | None -> [])
+    @ List.map (fun (k, v) -> Printf.sprintf "f.%s=%s" k v) p.p_fields
+  in
+  match atoms with [] -> "*" | atoms -> String.concat " " atoms
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type comparison = Lt | Le | Eq | Ne | Ge | Gt
+
+let comparison_name = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Ge -> ">="
+  | Gt -> ">"
+
+let comparison_of_name = function
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | "==" | "=" -> Some Eq
+  | "!=" -> Some Ne
+  | ">=" -> Some Ge
+  | ">" -> Some Gt
+  | _ -> None
+
+let compare_holds cmp a b =
+  match cmp with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Ge -> a >= b
+  | Gt -> a > b
+
+type t =
+  | Eventually of pattern
+  | Never of pattern
+  | Within of pattern * Vtime.t * Vtime.t
+  | Ordered of pattern list
+  | Count of pattern * comparison * int
+  | All of t list
+  | Any of t list
+
+let rec describe = function
+  | Eventually p -> Printf.sprintf "eventually(%s)" (pattern_describe p)
+  | Never p -> Printf.sprintf "never(%s)" (pattern_describe p)
+  | Within (p, a, b) ->
+    Printf.sprintf "within[%s, %s](%s)" (Vtime.to_string a)
+      (if Vtime.equal b Vtime.infinity then "inf" else Vtime.to_string b)
+      (pattern_describe p)
+  | Ordered ps ->
+    Printf.sprintf "ordered(%s)"
+      (String.concat " ; " (List.map pattern_describe ps))
+  | Count (p, cmp, n) ->
+    Printf.sprintf "count(%s) %s %d" (pattern_describe p)
+      (comparison_name cmp) n
+  | All ts -> Printf.sprintf "all(%s)" (String.concat " ; " (List.map describe ts))
+  | Any ts -> Printf.sprintf "any(%s)" (String.concat " ; " (List.map describe ts))
+
+type verdict = {
+  oracle : string;
+  pass : bool;
+  reason : string;
+  witness : int option;
+}
+
+(* one-line citation of a trace entry: "#index @time node tag "detail"" *)
+let entry_cite i (e : Trace.entry) =
+  Printf.sprintf "#%d @%s %s %s %S" i
+    (Vtime.to_string e.Trace.time)
+    e.Trace.node e.Trace.tag e.Trace.detail
+
+(* every (index, entry) matching [p], using the (node, tag) indexes when
+   the pattern constrains them *)
+let matches_of p trace =
+  let acc = ref [] in
+  Trace.iteri ?node:p.p_node ?tag:p.p_tag
+    (fun i e -> if pattern_matches p e then acc := (i, e) :: !acc)
+    trace;
+  List.rev !acc
+
+let rec eval oracle trace =
+  let oracle_str = describe oracle in
+  let verdict pass reason witness = { oracle = oracle_str; pass; reason; witness } in
+  match oracle with
+  | Eventually p ->
+    (match matches_of p trace with
+     | (i, e) :: _ -> verdict true ("satisfied by " ^ entry_cite i e) (Some i)
+     | [] ->
+       verdict false
+         (Printf.sprintf "no entry matches %s (%d entries searched)"
+            (pattern_describe p) (Trace.length trace))
+         None)
+  | Never p ->
+    (match matches_of p trace with
+     | [] -> verdict true "no entry matches the forbidden pattern" None
+     | (i, e) :: rest ->
+       verdict false
+         (Printf.sprintf "forbidden %s matched by %s%s" (pattern_describe p)
+            (entry_cite i e)
+            (match rest with
+             | [] -> ""
+             | _ -> Printf.sprintf " (and %d more)" (List.length rest)))
+         (Some i))
+  | Within (p, a, b) ->
+    let all = matches_of p trace in
+    let inside =
+      List.filter (fun (_, e) -> Vtime.(e.Trace.time >= a && e.Trace.time <= b)) all
+    in
+    let window =
+      Printf.sprintf "[%s, %s]" (Vtime.to_string a)
+        (if Vtime.equal b Vtime.infinity then "inf" else Vtime.to_string b)
+    in
+    (match (inside, all) with
+     | (i, e) :: _, _ ->
+       verdict true
+         (Printf.sprintf "satisfied in %s by %s" window (entry_cite i e))
+         (Some i)
+     | [], [] ->
+       verdict false
+         (Printf.sprintf "no entry matches %s at all (wanted one in %s)"
+            (pattern_describe p) window)
+         None
+     | [], (i, e) :: _ ->
+       verdict false
+         (Printf.sprintf
+            "no %s in %s; %d matches fall outside the window, first at %s"
+            (pattern_describe p) window (List.length all) (entry_cite i e))
+         (Some i))
+  | Ordered ps ->
+    let rec chase step last_idx = function
+      | [] ->
+        verdict true
+          (Printf.sprintf "all %d steps matched in order" (List.length ps))
+          (if last_idx < 0 then None else Some last_idx)
+      | p :: rest ->
+        let next =
+          (* first match strictly after the previous step's witness *)
+          List.find_opt (fun (i, _) -> i > last_idx) (matches_of p trace)
+        in
+        (match next with
+         | Some (i, _) -> chase (step + 1) i rest
+         | None ->
+           verdict false
+             (Printf.sprintf
+                "step %d/%d (%s) never matched %s" step (List.length ps)
+                (pattern_describe p)
+                (if last_idx < 0 then "anywhere"
+                 else
+                   Printf.sprintf "after %s"
+                     (entry_cite last_idx (Trace.get trace last_idx))))
+             (if last_idx < 0 then None else Some last_idx))
+    in
+    if ps = [] then verdict true "vacuously ordered (no steps)" None
+    else chase 1 (-1) ps
+  | Count (p, cmp, bound) ->
+    let all = matches_of p trace in
+    let c = List.length all in
+    let witness =
+      match List.rev all with (i, _) :: _ -> Some i | [] -> None
+    in
+    if compare_holds cmp c bound then
+      verdict true
+        (Printf.sprintf "count(%s) = %d, %s %d holds" (pattern_describe p) c
+           (comparison_name cmp) bound)
+        witness
+    else
+      verdict false
+        (Printf.sprintf "count(%s) = %d, expected %s %d%s" (pattern_describe p)
+           c (comparison_name cmp) bound
+           (match List.rev all with
+            | (i, e) :: _ -> "; last match " ^ entry_cite i e
+            | [] -> ""))
+        witness
+  | All ts ->
+    let sub = List.map (fun t -> eval t trace) ts in
+    (match List.find_opt (fun v -> not v.pass) sub with
+     | Some bad ->
+       verdict false
+         (Printf.sprintf "sub-oracle %s failed: %s" bad.oracle bad.reason)
+         bad.witness
+     | None ->
+       verdict true
+         (Printf.sprintf "all %d sub-oracles hold" (List.length sub))
+         None)
+  | Any ts ->
+    let sub = List.map (fun t -> eval t trace) ts in
+    (match List.find_opt (fun v -> v.pass) sub with
+     | Some good ->
+       verdict true
+         (Printf.sprintf "sub-oracle %s holds: %s" good.oracle good.reason)
+         good.witness
+     | None ->
+       verdict false
+         (Printf.sprintf "none of the %d sub-oracles hold (first: %s)"
+            (List.length sub)
+            (match sub with v :: _ -> v.reason | [] -> "empty any()"))
+         None)
+
+let eval_all oracles trace = List.map (fun o -> eval o trace) oracles
+
+let check oracles trace =
+  let rec go = function
+    | [] -> Ok ()
+    | o :: rest ->
+      let v = eval o trace in
+      if v.pass then go rest
+      else Error (Printf.sprintf "oracle %s: %s" v.oracle v.reason)
+  in
+  go oracles

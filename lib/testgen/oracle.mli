@@ -1,0 +1,85 @@
+(** Temporal conformance oracles over experiment traces.
+
+    The paper's experiments are really conformance checks: inject a
+    fault, then judge the target's reaction (retransmission schedule,
+    membership transition) against the spec.  An {!t} states one such
+    expectation as data — a temporal predicate over {!Pfi_engine.Trace.t}
+    entries — and {!eval} returns a structured pass/fail {!verdict}
+    citing the witnessing (or violating) entry by recording index, so a
+    failing conformance test points at the exact trace line that broke
+    it.
+
+    Oracles are plain constructors, so scenario files ({!Scenario}),
+    campaign harnesses ({!Campaign.run_trial}'s [?oracles]) and ad-hoc
+    tests can all state expectations in the same vocabulary. *)
+
+open Pfi_engine
+
+(** {1 Entry patterns} *)
+
+type pattern
+(** A conjunctive match over one trace entry: node equality, tag
+    equality, detail substring, and required [fields] key/values.  An
+    unconstrained pattern matches every entry. *)
+
+val pattern :
+  ?node:string ->
+  ?tag:string ->
+  ?detail:string ->
+  ?fields:(string * string) list ->
+  unit ->
+  pattern
+(** [detail] matches as a substring of the entry's detail string;
+    [fields] must each be present with the exact value. *)
+
+val pattern_matches : pattern -> Trace.entry -> bool
+
+val pattern_describe : pattern -> string
+(** E.g. ["node=bob tag=abp.deliver detail~msg-00"]; ["*"] when
+    unconstrained. *)
+
+(** {1 Oracles} *)
+
+type comparison = Lt | Le | Eq | Ne | Ge | Gt
+
+val comparison_name : comparison -> string
+(** ["<"], ["<="], ["=="], ["!="], [">="], [">"]. *)
+
+val comparison_of_name : string -> comparison option
+
+type t =
+  | Eventually of pattern  (** at least one entry matches *)
+  | Never of pattern  (** no entry matches *)
+  | Within of pattern * Vtime.t * Vtime.t
+      (** [Within (p, a, b)]: some match has [a <= time <= b] *)
+  | Ordered of pattern list
+      (** matches occur in order, at strictly increasing indexes *)
+  | Count of pattern * comparison * int
+      (** the number of matches satisfies the bound *)
+  | All of t list
+  | Any of t list
+
+val describe : t -> string
+
+(** {1 Evaluation} *)
+
+type verdict = {
+  oracle : string;  (** {!describe} of the evaluated oracle *)
+  pass : bool;
+  reason : string;
+      (** pointed diagnostic: which entry satisfied or violated the
+          oracle, or why no entry could *)
+  witness : int option;
+      (** recording index of the deciding entry ({!Trace.get}); the
+          satisfying match on pass, the violating or nearest-miss entry
+          on failure when one exists *)
+}
+
+val eval : t -> Trace.t -> verdict
+
+val eval_all : t list -> Trace.t -> verdict list
+
+val check : t list -> Trace.t -> (unit, string) result
+(** [Error reason] for the first failing oracle — drop-in for the
+    harness [check] closures, so campaign verdicts can be expressed as
+    oracles and flow into shrink/replay unchanged. *)

@@ -2,7 +2,8 @@ let entries : Harness_intf.packed list =
   [ Abp_harness.harness ();
     Abp_harness.harness ~bug_ignore_ack_bit:true ();
     Gmp_harness.harness ();
-    Gmp_harness.harness ~bugs:Pfi_gmp.Gmd.all_bugs () ]
+    Gmp_harness.harness ~bugs:Pfi_gmp.Gmd.all_bugs ();
+    Tcp_harness.harness () ]
 
 let names = List.map Harness_intf.name entries
 

@@ -8,7 +8,7 @@
     {!Campaign.run_trial} — no per-call-site wrapping. *)
 
 val entries : Harness_intf.packed list
-(** ["abp"], ["abp-buggy"], ["gmp"], ["gmp-buggy"]. *)
+(** ["abp"], ["abp-buggy"], ["gmp"], ["gmp-buggy"], ["tcp"]. *)
 
 val names : string list
 

@@ -1,0 +1,599 @@
+open Pfi_engine
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type error = {
+  err_line : int;
+  err_token : string;
+  err_reason : string;
+}
+
+exception Parse_error of error
+
+let err line token reason =
+  raise (Parse_error { err_line = line; err_token = token; err_reason = reason })
+
+let error_message ?file e =
+  let where =
+    match file with
+    | Some f -> Printf.sprintf "%s:%d" f e.err_line
+    | None -> Printf.sprintf "line %d" e.err_line
+  in
+  Printf.sprintf "%s: %s (at %S)" where e.err_reason e.err_token
+
+(* ------------------------------------------------------------------ *)
+(* Scenario representation                                            *)
+(* ------------------------------------------------------------------ *)
+
+type injection = {
+  inj_line : int;
+  inj_at : Vtime.t;
+  inj_side : [ `Send | `Receive ];
+  inj_mtype : string;
+  inj_args : (string * string) list;
+  inj_dst : string;
+}
+
+type expectation =
+  | Trace_oracle of Oracle.t
+  | Service
+
+type check = {
+  chk_line : int;
+  chk_expect : expectation;
+}
+
+type t = {
+  sc_name : string;
+  sc_harness : string;
+  sc_seed : int64 option;
+  sc_horizon : Vtime.t option;
+  sc_faults : (Campaign.side * Generator.fault) list;
+  sc_injections : injection list;
+  sc_checks : check list;
+  sc_xfail : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lexical helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* whitespace-split words; a word starting with '#' comments out the
+   rest of the line *)
+let tokens_of line =
+  let words =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  let rec until_comment = function
+    | [] -> []
+    | w :: _ when String.length w > 0 && w.[0] = '#' -> []
+    | w :: rest -> w :: until_comment rest
+  in
+  until_comment words
+
+let parse_duration ~line tok =
+  let n = String.length tok in
+  let i = ref 0 in
+  while !i < n && (match tok.[!i] with '0' .. '9' | '.' -> true | _ -> false) do
+    incr i
+  done;
+  let num = String.sub tok 0 !i and unit_s = String.sub tok !i (n - !i) in
+  let v =
+    match float_of_string_opt num with
+    | Some v when v >= 0.0 -> v
+    | _ ->
+      err line tok "malformed duration (expected NUMBER followed by us|ms|s|m|h)"
+  in
+  let mult_us =
+    match unit_s with
+    | "us" -> 1.0
+    | "ms" -> 1_000.0
+    | "s" -> 1_000_000.0
+    | "m" | "min" -> 60_000_000.0
+    | "h" -> 3_600_000_000.0
+    | _ -> err line tok "unknown duration unit (use us|ms|s|m|h)"
+  in
+  Vtime.us (int_of_float (v *. mult_us))
+
+let parse_int ~line tok =
+  match int_of_string_opt tok with
+  | Some n when n >= 0 -> n
+  | _ -> err line tok "expected a non-negative integer"
+
+let parse_float ~line tok =
+  match float_of_string_opt tok with
+  | Some f -> f
+  | _ -> err line tok "expected a number"
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let after_prefix prefix tok =
+  String.sub tok (String.length prefix) (String.length tok - String.length prefix)
+
+let parse_pattern ~line ~directive atoms =
+  if atoms = [] then
+    err line directive
+      "pattern must have at least one atom (node=, tag=, detail~ or f.KEY=VALUE)";
+  let node = ref None and tag = ref None and detail = ref None in
+  let fields = ref [] in
+  let set r what v =
+    match !r with
+    | Some _ -> err line (what ^ v) ("duplicate " ^ what ^ " atom in pattern")
+    | None -> r := Some v
+  in
+  List.iter
+    (fun tok ->
+      if String.starts_with ~prefix:"node=" tok then
+        set node "node=" (after_prefix "node=" tok)
+      else if String.starts_with ~prefix:"tag=" tok then
+        set tag "tag=" (after_prefix "tag=" tok)
+      else if String.starts_with ~prefix:"detail~" tok then
+        set detail "detail~" (after_prefix "detail~" tok)
+      else if String.starts_with ~prefix:"f." tok then begin
+        let body = after_prefix "f." tok in
+        match String.index_opt body '=' with
+        | Some i when i > 0 ->
+          fields :=
+            (String.sub body 0 i,
+             String.sub body (i + 1) (String.length body - i - 1))
+            :: !fields
+        | _ -> err line tok "field atom must be f.KEY=VALUE"
+      end
+      else
+        err line tok
+          "unrecognised pattern atom (expected node=, tag=, detail~ or \
+           f.KEY=VALUE)")
+    atoms;
+  Oracle.pattern ?node:!node ?tag:!tag ?detail:!detail
+    ~fields:(List.rev !fields) ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault specifications                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_mtype ~line ~spec tok =
+  if not (List.mem tok (Spec.message_types spec)) then
+    err line tok
+      (Printf.sprintf "unknown message type for protocol %s (expected one of %s)"
+         spec.Spec.protocol
+         (String.concat ", " (Spec.message_types spec)))
+
+let parse_fault ~line ~spec toks =
+  let usage kind shape = err line kind ("usage: fault [send|receive|both] " ^ shape) in
+  match toks with
+  | [ "drop_all"; t ] -> check_mtype ~line ~spec t; Generator.Drop_all t
+  | "drop_all" :: _ -> usage "drop_all" "drop_all TYPE"
+  | [ "drop_after"; t; n ] ->
+    check_mtype ~line ~spec t;
+    Generator.Drop_after (t, parse_int ~line n)
+  | "drop_after" :: _ -> usage "drop_after" "drop_after TYPE N"
+  | [ "drop_first"; t; n ] ->
+    check_mtype ~line ~spec t;
+    Generator.Drop_first (t, parse_int ~line n)
+  | "drop_first" :: _ -> usage "drop_first" "drop_first TYPE N"
+  | [ "drop_fraction"; t; p ] ->
+    check_mtype ~line ~spec t;
+    Generator.Drop_fraction (t, parse_float ~line p)
+  | "drop_fraction" :: _ -> usage "drop_fraction" "drop_fraction TYPE P"
+  | [ "omission_all"; p ] -> Generator.Omission_all (parse_float ~line p)
+  | "omission_all" :: _ -> usage "omission_all" "omission_all P"
+  | [ "byzantine_mix"; p ] -> Generator.Byzantine_mix (parse_float ~line p)
+  | "byzantine_mix" :: _ -> usage "byzantine_mix" "byzantine_mix P"
+  | [ "delay_each"; t; s ] ->
+    check_mtype ~line ~spec t;
+    Generator.Delay_each (t, parse_float ~line s)
+  | "delay_each" :: _ -> usage "delay_each" "delay_each TYPE SECONDS"
+  | [ "duplicate"; t ] -> check_mtype ~line ~spec t; Generator.Duplicate t
+  | "duplicate" :: _ -> usage "duplicate" "duplicate TYPE"
+  | [ "corrupt"; t; p ] ->
+    check_mtype ~line ~spec t;
+    Generator.Corrupt (t, parse_float ~line p)
+  | "corrupt" :: _ -> usage "corrupt" "corrupt TYPE P"
+  | [ "reorder"; t ] -> check_mtype ~line ~spec t; Generator.Reorder t
+  | "reorder" :: _ -> usage "reorder" "reorder TYPE"
+  | [ "inject_spurious"; t; dst ] ->
+    (match Spec.find_message spec t with
+     | Some m when m.Spec.stateless -> Generator.Inject_spurious (m, dst)
+     | Some _ ->
+       err line t
+         "message type is stateful — only stateless messages can be fabricated"
+     | None -> check_mtype ~line ~spec t; assert false)
+  | "inject_spurious" :: _ -> usage "inject_spurious" "inject_spurious TYPE DST"
+  | kind :: _ ->
+    err line kind
+      "unknown fault kind (expected drop_all, drop_after, drop_first, \
+       drop_fraction, omission_all, byzantine_mix, delay_each, duplicate, \
+       corrupt, reorder or inject_spurious)"
+  | [] -> err line "fault" "missing fault specification"
+
+(* ------------------------------------------------------------------ *)
+(* Expectations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let split_on_semicolon toks =
+  let rec go current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | ";" :: rest -> go [] (List.rev current :: acc) rest
+    | tok :: rest -> go (tok :: current) acc rest
+  in
+  go [] [] toks
+
+let parse_expect ~line ~at toks =
+  let no_time kind =
+    if at <> None then err line kind (kind ^ " takes no @TIME prefix")
+  in
+  match toks with
+  | [] -> err line "expect" "missing expectation"
+  | [ "service" ] -> no_time "service"; Service
+  | "service" :: extra :: _ -> err line extra "service takes no arguments"
+  | "never" :: atoms ->
+    no_time "never";
+    Trace_oracle (Oracle.Never (parse_pattern ~line ~directive:"never" atoms))
+  | "count" :: rest ->
+    no_time "count";
+    (match List.rev rest with
+     | bound :: op :: ratoms when Oracle.comparison_of_name op <> None ->
+       let cmp = Option.get (Oracle.comparison_of_name op) in
+       let atoms = List.rev ratoms in
+       Trace_oracle
+         (Oracle.Count
+            (parse_pattern ~line ~directive:"count" atoms, cmp,
+             parse_int ~line bound))
+     | _ ->
+       err line "count"
+         "usage: expect count PATTERN OP N  (OP one of < <= == != >= >)")
+  | "ordered" :: rest ->
+    no_time "ordered";
+    let groups = split_on_semicolon rest in
+    Trace_oracle
+      (Oracle.Ordered
+         (List.map (parse_pattern ~line ~directive:"ordered") groups))
+  | toks ->
+    let toks = match toks with "eventually" :: r -> r | r -> r in
+    let atoms, within =
+      match List.rev toks with
+      | d :: "within" :: ratoms -> (List.rev ratoms, Some (parse_duration ~line d))
+      | _ ->
+        if List.mem "within" toks then
+          err line "within"
+            "within must be penultimate: expect PATTERN within DURATION";
+        (toks, None)
+    in
+    let pat = parse_pattern ~line ~directive:"expect" atoms in
+    (match (at, within) with
+     | None, None -> Trace_oracle (Oracle.Eventually pat)
+     | Some a, None -> Trace_oracle (Oracle.Within (pat, a, Vtime.infinity))
+     | None, Some d -> Trace_oracle (Oracle.Within (pat, Vtime.zero, d))
+     | Some a, Some d -> Trace_oracle (Oracle.Within (pat, a, Vtime.add a d)))
+
+(* ------------------------------------------------------------------ *)
+(* The parser                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse ?(name = "scenario") src =
+  let sc_name = ref name in
+  let harness = ref None (* (name, packed) *) in
+  let seed = ref None and horizon = ref None and xfail = ref None in
+  let faults = ref [] and injections = ref [] and checks = ref [] in
+  let need_harness line tok =
+    match !harness with
+    | Some (hname, packed) -> (hname, packed)
+    | None -> err line tok "run HARNESS must come before this directive"
+  in
+  let once line tok r v =
+    match !r with
+    | Some _ -> err line tok ("duplicate " ^ tok ^ " directive")
+    | None -> r := Some v
+  in
+  let handle line toks =
+    match toks with
+    | [] -> ()
+    | first :: rest ->
+      let at, keyword, rest =
+        if String.length first > 0 && first.[0] = '@' then begin
+          let t = parse_duration ~line (String.sub first 1 (String.length first - 1)) in
+          match rest with
+          | kw :: rest' -> (Some t, kw, rest')
+          | [] -> err line first "directive expected after @TIME"
+        end
+        else (None, first, rest)
+      in
+      let no_time () =
+        if at <> None then err line keyword (keyword ^ " takes no @TIME prefix")
+      in
+      (match keyword with
+       | "name" ->
+         no_time ();
+         if rest = [] then err line "name" "missing scenario name";
+         sc_name := String.concat " " rest
+       | "run" ->
+         no_time ();
+         (match rest with
+          | [ h ] ->
+            if !harness <> None then err line h "duplicate run directive";
+            (match Registry.find h with
+             | Some packed -> harness := Some (h, packed)
+             | None ->
+               err line h
+                 (Printf.sprintf "unknown harness (expected one of %s)"
+                    (String.concat ", " Registry.names)))
+          | _ -> err line "run" "usage: run HARNESS")
+       | "seed" ->
+         no_time ();
+         (match rest with
+          | [ s ] ->
+            (match Int64.of_string_opt s with
+             | Some v -> once line "seed" seed v
+             | None -> err line s "expected a 64-bit integer seed")
+          | _ -> err line "seed" "usage: seed N")
+       | "horizon" ->
+         no_time ();
+         (match rest with
+          | [ d ] -> once line "horizon" horizon (parse_duration ~line d)
+          | _ -> err line "horizon" "usage: horizon DURATION")
+       | "xfail" ->
+         no_time ();
+         if rest = [] then
+           err line "xfail" "usage: xfail SUBSTRING (of the expected diagnostic)";
+         once line "xfail" xfail (String.concat " " rest)
+       | "fault" ->
+         no_time ();
+         let _, packed = need_harness line "fault" in
+         let spec = Harness_intf.spec packed in
+         let side, ftoks =
+           match rest with
+           | "send" :: r -> (Campaign.Send_filter, r)
+           | "receive" :: r -> (Campaign.Receive_filter, r)
+           | "both" :: r -> (Campaign.Both_filters, r)
+           | r -> (Campaign.Both_filters, r)
+         in
+         faults := (side, parse_fault ~line ~spec ftoks) :: !faults
+       | "inject" ->
+         let at =
+           match at with
+           | Some t -> t
+           | None -> err line "inject" "inject requires an @TIME prefix"
+         in
+         let _, packed = need_harness line "inject" in
+         let spec = Harness_intf.spec packed in
+         (match rest with
+          | side_tok :: mtype :: args ->
+            let side =
+              match side_tok with
+              | "send" -> `Send
+              | "receive" -> `Receive
+              | _ -> err line side_tok "inject side must be send or receive"
+            in
+            let msg =
+              match Spec.find_message spec mtype with
+              | Some m -> m
+              | None -> check_mtype ~line ~spec mtype; assert false
+            in
+            if not msg.Spec.stateless then
+              err line mtype
+                "message type is stateful — only stateless messages can be \
+                 fabricated by the PFI layer";
+            let dst, kv_toks =
+              match List.rev args with
+              | dst :: "to" :: rargs -> (Some dst, List.rev rargs)
+              | _ ->
+                if List.mem "to" args then
+                  err line "to" "to NODE must come last in an inject directive";
+                (None, args)
+            in
+            let overrides =
+              List.map
+                (fun tok ->
+                  match String.index_opt tok '=' with
+                  | Some i when i > 0 ->
+                    (String.sub tok 0 i,
+                     String.sub tok (i + 1) (String.length tok - i - 1))
+                  | _ -> err line tok "expected KEY=VALUE generation argument")
+                kv_toks
+            in
+            let inj_args =
+              List.map
+                (fun (k, v) ->
+                  (k, Option.value (List.assoc_opt k overrides) ~default:v))
+                msg.Spec.gen_args
+              @ List.filter
+                  (fun (k, _) -> not (List.mem_assoc k msg.Spec.gen_args))
+                  overrides
+            in
+            injections :=
+              { inj_line = line;
+                inj_at = at;
+                inj_side = side;
+                inj_mtype = mtype;
+                inj_args;
+                inj_dst = Option.value dst ~default:(Harness_intf.target packed) }
+              :: !injections
+          | _ -> err line "inject" "usage: @TIME inject send|receive TYPE [k=v ...] [to NODE]")
+       | "expect" ->
+         checks := { chk_line = line; chk_expect = parse_expect ~line ~at rest } :: !checks
+       | _ ->
+         err line keyword
+           "unknown directive (expected name, run, seed, horizon, fault, \
+            inject, expect or xfail)")
+  in
+  let lines = String.split_on_char '\n' src in
+  List.iteri (fun i line -> handle (i + 1) (tokens_of line)) lines;
+  match !harness with
+  | None ->
+    err (List.length lines) "run" "scenario never names a harness (missing run directive)"
+  | Some (hname, _) ->
+    { sc_name = !sc_name;
+      sc_harness = hname;
+      sc_seed = !seed;
+      sc_horizon = !horizon;
+      sc_faults = List.rev !faults;
+      sc_injections = List.rev !injections;
+      sc_checks = List.rev !checks;
+      sc_xfail = !xfail }
+
+let load path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse ~name:(Filename.basename path) src
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  row_line : int;
+  row_desc : string;
+  row_pass : bool;
+  row_reason : string;
+  row_witness : int option;
+}
+
+type outcome = Pass | Fail | Xfail | Xpass
+
+let outcome_name = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Xfail -> "xfail"
+  | Xpass -> "xpass"
+
+type result = {
+  res_scenario : string;
+  res_harness : string;
+  res_seed : int64;
+  res_horizon : Vtime.t;
+  res_rows : row list;
+  res_xfail : string option;
+  res_outcome : outcome;
+  res_trace : Trace.t option;
+}
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+    at 0
+  end
+
+(* the fabricate-and-introduce script for one inject directive, built
+   from the same [msg_gen]/[inject_*] vocabulary generated campaign
+   scripts use *)
+let injection_script inj =
+  let args =
+    String.concat " " (List.concat_map (fun (k, v) -> [ k; v ]) inj.inj_args)
+  in
+  match inj.inj_side with
+  | `Send ->
+    Printf.sprintf
+      "set probe [msg_gen %s]\n\
+       msg_set_attr $probe net.dst %s\n\
+       log scenario.inject \"%s down toward %s\"\n\
+       inject_down $probe"
+      args inj.inj_dst inj.inj_mtype inj.inj_dst
+  | `Receive ->
+    Printf.sprintf
+      "set probe [msg_gen %s]\n\
+       log scenario.inject \"%s up\"\n\
+       inject_up $probe"
+      args inj.inj_mtype
+
+let run ?seed ?(capture_trace = false) sc =
+  let packed =
+    match Registry.find sc.sc_harness with
+    | Some h -> h
+    | None -> failwith ("scenario harness vanished from the registry: " ^ sc.sc_harness)
+  in
+  let (module H : Harness_intf.HARNESS) = packed in
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> Option.value sc.sc_seed ~default:H.default_seed
+  in
+  let horizon = Option.value sc.sc_horizon ~default:H.default_horizon in
+  let env = H.build ~seed in
+  let sim = H.sim env and pfi = H.pfi env in
+  let side_script side =
+    sc.sc_faults
+    |> List.filter (fun (s, _) -> s = side || s = Campaign.Both_filters)
+    |> List.map (fun (_, f) -> Generator.script_of_fault f)
+    |> String.concat "\n"
+  in
+  (match side_script Campaign.Send_filter with
+   | "" -> ()
+   | s -> Pfi_core.Pfi_layer.set_send_filter pfi s);
+  (match side_script Campaign.Receive_filter with
+   | "" -> ()
+   | s -> Pfi_core.Pfi_layer.set_receive_filter pfi s);
+  List.iter
+    (fun inj ->
+      ignore
+        (Sim.schedule_at sim ~time:inj.inj_at (fun () ->
+             ignore
+               (Pfi_core.Pfi_layer.eval_in pfi
+                  (match inj.inj_side with `Send -> `Send | `Receive -> `Receive)
+                  (injection_script inj)))))
+    sc.sc_injections;
+  H.workload env;
+  Sim.run ~until:horizon sim;
+  let trace = Sim.trace sim in
+  let rows =
+    List.map
+      (fun chk ->
+        match chk.chk_expect with
+        | Service ->
+          (match H.check env with
+           | Ok () ->
+             { row_line = chk.chk_line;
+               row_desc = "service";
+               row_pass = true;
+               row_reason = "service guarantee holds";
+               row_witness = None }
+           | Error reason ->
+             { row_line = chk.chk_line;
+               row_desc = "service";
+               row_pass = false;
+               row_reason = reason;
+               row_witness = None })
+        | Trace_oracle o ->
+          let v = Oracle.eval o trace in
+          { row_line = chk.chk_line;
+            row_desc = v.Oracle.oracle;
+            row_pass = v.Oracle.pass;
+            row_reason = v.Oracle.reason;
+            row_witness = v.Oracle.witness })
+      sc.sc_checks
+  in
+  let failures = List.filter (fun r -> not r.row_pass) rows in
+  let res_outcome =
+    match (sc.sc_xfail, failures) with
+    | None, [] -> Pass
+    | None, _ -> Fail
+    | Some _, [] -> Xpass
+    | Some sub, fs ->
+      if
+        List.exists
+          (fun r -> contains_sub r.row_reason sub || contains_sub r.row_desc sub)
+          fs
+      then Xfail
+      else Fail
+  in
+  { res_scenario = sc.sc_name;
+    res_harness = H.name;
+    res_seed = seed;
+    res_horizon = horizon;
+    res_rows = rows;
+    res_xfail = sc.sc_xfail;
+    res_outcome;
+    res_trace = (if capture_trace then Some trace else None) }
+
+let passed r = match r.res_outcome with Pass | Xfail -> true | Fail | Xpass -> false

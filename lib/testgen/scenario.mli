@@ -1,0 +1,152 @@
+(** Packetdrill-style scenario conformance scripts ([*.pfis]).
+
+    A scenario file states a complete, replayable conformance test as
+    data: which harness to build, which faults to install on its PFI
+    layer, which packets to fabricate at which virtual times, and which
+    {!Oracle} predicates the resulting trace must satisfy.  One text
+    file therefore captures the whole shape of a paper experiment —
+    inject, then judge the reaction against the spec.
+
+    {2 Format}
+
+    Line-oriented; [#] starts a comment; words are whitespace-separated.
+
+    {v
+    name ABP survives a transient MSG outage
+    run abp
+    seed 31
+    horizon 120s
+
+    fault send drop_first MSG 3
+    @5s inject receive ACK bit=1
+    @0s expect tag=abp.deliver detail~msg-00 within 30s
+    expect never tag=abp.bad-frame
+    expect count tag=abp.retransmit >= 1
+    expect ordered tag=abp.deliver detail~msg-00 ; tag=abp.deliver detail~msg-01
+    expect service
+    v}
+
+    Directives:
+    - [run HARNESS] — a {!Registry} harness name; must precede every
+      directive that needs the protocol spec.
+    - [seed N] / [horizon DURATION] — defaults for the run (the
+      harness's own defaults otherwise).  Durations are [NUMBER] plus
+      one of [us ms s m h], e.g. [500ms], [1.5s], [2m].
+    - [fault [send|receive|both] SPEC] — a generated fault installed on
+      the harness PFI layer before the run (side defaults to [both]).
+      [SPEC] is one of [drop_all T], [drop_after T N], [drop_first T N],
+      [drop_fraction T P], [omission_all P], [byzantine_mix P],
+      [delay_each T SECONDS], [duplicate T], [corrupt T P], [reorder T],
+      [inject_spurious T DST] — exactly {!Generator.fault}.
+    - [@T inject send|receive MTYPE [k=v ...] [to NODE]] — fabricate a
+      stateless message through the harness stub at virtual time [T] and
+      introduce it below ([send], addressed to [NODE], default the
+      harness target) or above ([receive]) the PFI layer.
+    - [[@T] expect ... [within D]] — a conformance oracle over the run's
+      trace.  Patterns are atoms [node=X], [tag=X], [detail~SUBSTRING]
+      and [f.KEY=VALUE].  Variants: bare / [eventually] (some entry
+      matches; [@T]/[within] constrain the window), [never PATTERN],
+      [count PATTERN OP N] with [OP] one of [< <= == != >= >], [ordered
+      P1 ; P2 ; ...], and [service] (the harness's built-in service
+      oracle).
+    - [xfail SUBSTRING...] — declares the scenario is {e expected} to
+      fail with a diagnostic containing the (space-joined) substring:
+      conformance tests for the [*-buggy] harnesses stay green while
+      still pinning the pointed failure they must produce.
+
+    Syntax errors raise {!Parse_error} naming the line and token. *)
+
+open Pfi_engine
+
+(** {1 Errors} *)
+
+type error = {
+  err_line : int;  (** 1-based line number *)
+  err_token : string;  (** the offending token, or directive name *)
+  err_reason : string;
+}
+
+exception Parse_error of error
+
+val error_message : ?file:string -> error -> string
+(** ["scenario.pfis:3: unknown directive (at \"exepct\")"]. *)
+
+(** {1 Scenarios} *)
+
+type injection = {
+  inj_line : int;
+  inj_at : Vtime.t;
+  inj_side : [ `Send | `Receive ];
+  inj_mtype : string;
+  inj_args : (string * string) list;
+      (** stub generation arguments: the spec's defaults overridden by
+          the directive's [k=v] pairs *)
+  inj_dst : string;
+}
+
+type expectation =
+  | Trace_oracle of Oracle.t
+  | Service  (** the harness's own [check] *)
+
+type check = {
+  chk_line : int;
+  chk_expect : expectation;
+}
+
+type t = {
+  sc_name : string;
+  sc_harness : string;
+  sc_seed : int64 option;
+  sc_horizon : Vtime.t option;
+  sc_faults : (Campaign.side * Generator.fault) list;
+  sc_injections : injection list;
+  sc_checks : check list;
+  sc_xfail : string option;
+}
+
+val parse : ?name:string -> string -> t
+(** Parses scenario text; [name] defaults to ["scenario"] and is
+    overridden by a [name] directive.  Raises {!Parse_error}. *)
+
+val load : string -> t
+(** Reads and parses a file; the scenario name defaults to the file's
+    basename.  Raises {!Parse_error} or [Sys_error]. *)
+
+(** {1 Execution} *)
+
+type row = {
+  row_line : int;  (** the [expect] directive's line *)
+  row_desc : string;
+  row_pass : bool;
+  row_reason : string;
+  row_witness : int option;  (** trace recording index, when one exists *)
+}
+
+type outcome =
+  | Pass
+  | Fail
+  | Xfail  (** expected failure occurred — counts as a pass *)
+  | Xpass  (** declared [xfail] but every oracle held — counts as a failure *)
+
+val outcome_name : outcome -> string
+
+type result = {
+  res_scenario : string;
+  res_harness : string;
+  res_seed : int64;
+  res_horizon : Vtime.t;
+  res_rows : row list;  (** one per [expect], in file order *)
+  res_xfail : string option;
+  res_outcome : outcome;
+  res_trace : Trace.t option;  (** kept when run with [capture_trace] *)
+}
+
+val run : ?seed:int64 -> ?capture_trace:bool -> t -> result
+(** Builds the harness system (seed priority: argument, then the
+    scenario's [seed] directive, then the harness default), installs the
+    fault scripts, schedules the injections, starts the workload, runs
+    to the horizon and evaluates every [expect].  Deterministic: the
+    result is a pure function of (scenario, seed). *)
+
+val passed : result -> bool
+(** True for {!Pass} and {!Xfail}. *)

@@ -1,0 +1,94 @@
+open Pfi_engine
+open Pfi_stack
+open Pfi_netsim
+open Pfi_tcp
+
+type env = {
+  sim : Sim.t;
+  pfi : Pfi_core.Pfi_layer.t;  (* on the client, between TCP and IP *)
+  conn : Tcp.conn;
+  sent : Buffer.t;
+  got : Buffer.t;
+  chunks : string list;
+}
+
+let default_horizon = Vtime.minutes 10
+let fault_clear_at = Vtime.minutes 3
+let default_seed = Campaign.default_seed
+
+(* deterministic payload: chunk i is a lowercase run whose length and
+   phase depend only on i, so the byte stream is a pure function of the
+   chunk count *)
+let chunk i =
+  String.init (1 + (i * 37) mod 180) (fun j -> Char.chr (97 + ((i + j) mod 26)))
+
+let harness ?(chunk_count = 12) () : Harness_intf.packed =
+  (module struct
+    type nonrec env = env
+
+    let name = "tcp"
+    let description = "TCP bulk transfer, client faulted below the transport"
+    let spec = Spec.tcp
+    let target = "server"
+    let default_horizon = default_horizon
+    let default_seed = default_seed
+
+    let build ~seed =
+      let sim = Sim.create ~seed () in
+      let net = Network.create sim in
+      let client = Tcp.create ~sim ~node:"client" ~profile:Profile.xkernel () in
+      let pfi =
+        Pfi_core.Pfi_layer.create ~sim ~node:"client" ~stub:Tcp_stub.stub ()
+      in
+      let c_ip = Ip_lite.create ~node:"client" in
+      let c_dev = Network.attach net ~node:"client" in
+      Layer.stack
+        [ Tcp.layer client; Pfi_core.Pfi_layer.layer pfi; c_ip; c_dev ];
+      let server = Tcp.create ~sim ~node:"server" ~profile:Profile.xkernel () in
+      let s_ip = Ip_lite.create ~node:"server" in
+      let s_dev = Network.attach net ~node:"server" in
+      Layer.stack [ Tcp.layer server; s_ip; s_dev ];
+      Tcp.listen server ~port:80;
+      let got = Buffer.create 4096 in
+      Tcp.on_accept server (fun c -> Tcp.on_data c (Buffer.add_string got));
+      let conn = Tcp.connect client ~dst:"server" ~dst_port:80 () in
+      { sim;
+        pfi;
+        conn;
+        sent = Buffer.create 4096;
+        got;
+        chunks = List.init chunk_count chunk }
+
+    let sim env = env.sim
+    let pfi env = env.pfi
+
+    let workload env =
+      List.iteri
+        (fun i data ->
+          Buffer.add_string env.sent data;
+          ignore
+            (Sim.schedule env.sim ~delay:(Vtime.sec (2 * i)) (fun () ->
+                 Tcp.send env.conn data)))
+        env.chunks;
+      (* the fault window is transient: heal the channel and leave the
+         rest of the horizon for retransmission to finish recovery *)
+      ignore
+        (Sim.schedule env.sim ~delay:fault_clear_at (fun () ->
+             Pfi_core.Pfi_layer.clear_send_filter env.pfi;
+             Pfi_core.Pfi_layer.clear_receive_filter env.pfi))
+
+    let check env =
+      let sent = Buffer.contents env.sent and got = Buffer.contents env.got in
+      if Tcp.state env.conn <> Tcp.Established then
+        Error
+          (Printf.sprintf "connection ended %s, not ESTABLISHED"
+             (Tcp.state_to_string (Tcp.state env.conn)))
+      else if not (String.equal sent got) then
+        Error
+          (Printf.sprintf "server got %d bytes of %d sent%s"
+             (String.length got) (String.length sent)
+             (if String.length got = String.length sent then
+                " (content differs)"
+              else ""))
+      else Ok ()
+  end)

@@ -1,0 +1,23 @@
+(** TCP campaign/scenario harness: a client and a server stack over the
+    simulated network, with the PFI layer spliced below the client's
+    transport (TCP / PFI / IP / device — the paper's probe placement).
+    The workload is a deterministic bulk transfer; the service oracle
+    demands the server received exactly the bytes the client sent and
+    the connection is still ESTABLISHED at the horizon.  Faults are
+    transient: filters are cleared at an interior instant so the rest
+    of the horizon exercises recovery. *)
+
+open Pfi_engine
+
+type env
+
+val default_horizon : Vtime.t
+(** 10 simulated minutes. *)
+
+val fault_clear_at : Vtime.t
+(** Filters installed by a campaign or scenario are cleared here (3
+    simulated minutes), making every fault a transient outage. *)
+
+val harness : ?chunk_count:int -> unit -> Harness_intf.packed
+(** [chunk_count] payload chunks (default 12) are sent two seconds
+    apart, starting at virtual time zero. *)

@@ -1,0 +1,58 @@
+(* Golden-file tests over the pfi_run binary itself: `pfi_run msc` and
+   `pfi_run help CMD` output is pinned byte-for-byte, so accidental
+   drift in the ladder diagram or the normalized option table shows up
+   as a diff, not as silent churn. *)
+
+let exe () =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "pfi_run.exe"))
+
+let run_cli args =
+  let cmd = Filename.quote_command (exe ()) args in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 8192 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Buffer.contents buf
+  | Unix.WEXITED n ->
+    Alcotest.failf "pfi_run %s exited with %d" (String.concat " " args) n
+  | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+    Alcotest.failf "pfi_run %s stopped by signal %d" (String.concat " " args) s
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden ~path actual =
+  let path = Filename.concat (Filename.dirname Sys.executable_name) path in
+  let expected = read_file path in
+  if actual <> expected then
+    Alcotest.failf
+      "output differs from %s —\n--- expected ---\n%s\n--- actual ---\n%s" path
+      expected actual
+
+let test_msc () = check_golden ~path:"golden/msc.expected" (run_cli [ "msc" ])
+
+let test_help_all () =
+  check_golden ~path:"golden/help.expected" (run_cli [ "help" ])
+
+let test_help_check () =
+  check_golden ~path:"golden/help_check.expected" (run_cli [ "help"; "check" ])
+
+let test_help_campaign () =
+  check_golden ~path:"golden/help_campaign.expected"
+    (run_cli [ "help"; "campaign" ])
+
+let suite =
+  [ Alcotest.test_case "pfi_run msc matches the golden ladder" `Slow test_msc;
+    Alcotest.test_case "pfi_run help matches the golden table" `Quick
+      test_help_all;
+    Alcotest.test_case "pfi_run help check golden" `Quick test_help_check;
+    Alcotest.test_case "pfi_run help campaign golden" `Quick test_help_campaign ]

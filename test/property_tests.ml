@@ -183,6 +183,108 @@ let prop_abp_integrity =
       Sim.run ~until:(Vtime.minutes 10) sim;
       Abp.delivered b = expected)
 
+(* ------------------------------------------------------------------ *)
+(* Event queue vs a sorted-list model                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Random push/cancel/pop sequences, interpreted both by the binary
+   heap and by a sorted association list.  Checks FIFO order at equal
+   times, cancellation semantics (including double-cancel and
+   cancel-after-pop no-ops) and the compaction bound on physical size. *)
+let prop_event_queue_model =
+  let interpret codes =
+    let q = Event_queue.create () in
+    let handles = ref [||] in
+    let model = ref [] in (* (time, id), sorted by (time, id): id = push order *)
+    let next_id = ref 0 in
+    let ok = ref true in
+    let expect b = if not b then ok := false in
+    let check_invariants () =
+      expect (Event_queue.size q = List.length !model);
+      expect (Event_queue.is_empty q = (!model = []));
+      expect
+        (Event_queue.physical_size q
+         <= max 64 ((2 * Event_queue.size q) + 2));
+      match (Event_queue.peek_time q, !model) with
+      | None, [] -> ()
+      | Some t, (mt, _) :: _ -> expect (Vtime.equal t mt)
+      | _ -> expect false
+    in
+    List.iter
+      (fun code ->
+        (match code mod 10 with
+         | 0 | 1 | 2 | 3 | 4 | 5 ->
+           (* push; many collisions at the same time to exercise FIFO *)
+           let time = Vtime.sec (code mod 7) in
+           let id = !next_id in
+           incr next_id;
+           let h = Event_queue.push q ~time id in
+           handles := Array.append !handles [| (h, time, id) |];
+           model :=
+             List.merge
+               (fun (t1, i1) (t2, i2) ->
+                 let c = Vtime.compare t1 t2 in
+                 if c <> 0 then c else compare i1 i2)
+               [ (time, id) ] !model
+         | 6 | 7 ->
+           (* cancel an arbitrary past handle (live, popped or dead) *)
+           if Array.length !handles > 0 then begin
+             let h, _, id = !handles.(code mod Array.length !handles) in
+             Event_queue.cancel q h;
+             Event_queue.cancel q h (* double cancel is a no-op *);
+             model := List.filter (fun (_, i) -> i <> id) !model
+           end
+         | _ ->
+           (match (Event_queue.pop q, !model) with
+            | None, [] -> ()
+            | Some (t, v), (mt, mid) :: rest ->
+              expect (Vtime.equal t mt);
+              expect (v = mid);
+              model := rest
+            | _ -> expect false));
+        check_invariants ())
+      codes;
+    (* drain: everything left must come out in model order *)
+    List.iter
+      (fun (mt, mid) ->
+        match Event_queue.pop q with
+        | Some (t, v) -> expect (Vtime.equal t mt && v = mid)
+        | None -> expect false)
+      !model;
+    expect (Event_queue.pop q = None);
+    !ok
+  in
+  QCheck.Test.make ~name:"event queue agrees with a sorted-list model"
+    ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 150) (int_range 0 1000))
+    interpret
+
+(* ------------------------------------------------------------------ *)
+(* Rng.int uniformity                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Rejection sampling promises no modulo bias: over n draws each bucket
+   of [0, k) has expectation n/k; a 5-sigma band on the binomial keeps
+   the test deterministic-in-practice for any seed QCheck picks. *)
+let prop_rng_int_uniform =
+  QCheck.Test.make ~name:"Rng.int is uniform within binomial bounds" ~count:25
+    QCheck.(pair (int_range 1 1_000_000) (int_range 2 64))
+    (fun (seed, k) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let n = 20_000 in
+      let counts = Array.make k 0 in
+      for _ = 1 to n do
+        let v = Rng.int rng k in
+        if v < 0 || v >= k then QCheck.Test.fail_report "draw out of range";
+        counts.(v) <- counts.(v) + 1
+      done;
+      let p = 1.0 /. float_of_int k in
+      let mean = float_of_int n *. p in
+      let sigma = sqrt (float_of_int n *. p *. (1.0 -. p)) in
+      Array.for_all
+        (fun c -> Float.abs (float_of_int c -. mean) <= 5.0 *. sigma)
+        counts)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_parser_total;
@@ -191,4 +293,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_tcp_integrity;
     QCheck_alcotest.to_alcotest prop_gmp_agreement;
     QCheck_alcotest.to_alcotest prop_abp_integrity;
+    QCheck_alcotest.to_alcotest prop_event_queue_model;
+    QCheck_alcotest.to_alcotest prop_rng_int_uniform;
   ]

@@ -372,7 +372,7 @@ let test_minimize_respects_budget () =
 
 let test_registry_lookup () =
   Alcotest.(check (list string)) "stock entries"
-    [ "abp"; "abp-buggy"; "gmp"; "gmp-buggy" ]
+    [ "abp"; "abp-buggy"; "gmp"; "gmp-buggy"; "tcp" ]
     Registry.names;
   List.iter
     (fun name ->

@@ -21,6 +21,35 @@ let check_error msg src =
 (* Parser                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* every syntax error must say where: 1-based line plus a quoted
+   excerpt of the offending construct *)
+let check_parse_error_location msg ~line ~excerpt src =
+  match Parser.parse src with
+  | _ -> Alcotest.failf "%s: expected Parse_error" msg
+  | exception Parser.Parse_error err ->
+    let contains sub =
+      let n = String.length err and m = String.length sub in
+      let rec at i = i + m <= n && (String.sub err i m = sub || at (i + 1)) in
+      at 0
+    in
+    if not (contains (Printf.sprintf "line %d:" line)) then
+      Alcotest.failf "%s: %S does not name line %d" msg err line;
+    if not (contains excerpt) then
+      Alcotest.failf "%s: %S does not quote %S" msg err excerpt
+
+let test_parse_error_locations () =
+  check_parse_error_location "unterminated quote" ~line:1 ~excerpt:"abc"
+    {|set x "abc|};
+  check_parse_error_location "unterminated brace" ~line:2 ~excerpt:"{ xDrop cur_"
+    "set a 1\nif {$a} { xDrop cur_msg";
+  check_parse_error_location "unterminated bracket" ~line:3
+    ~excerpt:"[msg_type cu" "set a 1\nset b 2\nset t [msg_type cur_msg";
+  check_parse_error_location "unterminated ${...}" ~line:1 ~excerpt:"${oops"
+    "puts ${oops";
+  (* same construct further down the script reports the later line *)
+  check_parse_error_location "line counting" ~line:4 ~excerpt:"unclosed"
+    "set a 1\nset b 2\nset c 3\nputs \"unclosed"
+
 let test_parse_words () =
   Alcotest.(check (list string)) "plain words"
     [ "set"; "x"; "42" ]
@@ -416,4 +445,6 @@ let suite =
     Alcotest.test_case "unknown command errors" `Quick test_unknown_command;
     Alcotest.test_case "errors propagate from procs" `Quick test_error_propagates;
     Alcotest.test_case "paper example script runs" `Quick test_paper_example_script;
+    Alcotest.test_case "parse errors name line and excerpt" `Quick
+      test_parse_error_locations;
   ]

@@ -12,4 +12,6 @@ let () =
       ("executor", Executor_tests.suite);
       ("repro", Repro_tests.suite);
       ("experiments", Experiments_tests.suite);
+      ("scenario", Scenario_tests.suite);
+      ("cli-golden", Cli_golden_tests.suite);
       ("properties", Property_tests.suite) ]
