@@ -7,7 +7,12 @@
      bench/main.exe table1       one artifact (table1..table8, figure4, exp5)
      bench/main.exe micro        only the micro-benchmarks
      bench/main.exe tables       all tables/figures, no micro-benchmarks
-     bench/main.exe scaling      campaign trials/sec at --jobs 1/2/4/8 *)
+     bench/main.exe scaling      campaign trials/sec at --jobs 1/2/4/8
+     bench/main.exe macro [OUT [SCENARIOS]]
+                                 engine macro-benchmark: every stock
+                                 campaign at --jobs 1/2/4/8 plus the
+                                 .pfis corpus; writes BENCH_engine.json
+                                 (default OUT) and prints the table *)
 
 open Pfi_experiments
 
@@ -197,6 +202,7 @@ let bench_shrink_descent () =
       Campaign.seed = 0L;
       Campaign.verdict = Campaign.Violation "synthetic";
       Campaign.injected_events = 0;
+      Campaign.sim_events = 0;
       Campaign.trace = None }
   in
   Staged.stage (fun () ->
@@ -309,6 +315,26 @@ let run_scaling () =
     [ 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* Engine macro-benchmark                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_macro args =
+  let out = match args with o :: _ -> o | [] -> "BENCH_engine.json" in
+  let scenario_dir =
+    match args with
+    | _ :: d :: _ -> d
+    | _ -> "test/scenarios"  (* the corpus, when run from the repo root *)
+  in
+  let bench = Engine_bench.run ~scenario_dir () in
+  Engine_bench.pp_summary Format.std_formatter bench;
+  Format.pp_print_flush Format.std_formatter ();
+  let oc = open_out out in
+  output_string oc (Engine_bench.to_string bench);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Array.to_list Sys.argv with
@@ -318,4 +344,5 @@ let () =
   | _ :: [ "micro" ] -> run_micro ()
   | _ :: [ "tables" ] -> run_all_artifacts ()
   | _ :: [ "scaling" ] -> run_scaling ()
+  | _ :: "macro" :: args -> run_macro args
   | _ :: names -> List.iter run_artifact names

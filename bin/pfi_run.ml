@@ -506,7 +506,10 @@ let campaign which trace_out repro_dir seed jobs json =
        (module H : Harness_intf.HARNESS)
        ()
    with
-   | exception Failure reason ->
+   | exception Campaign.Control_failure reason ->
+     (* only the dedicated control-trial exception: a Failure raised by
+        some faulted trial (e.g. a script error) must propagate as the
+        error it is, not masquerade as a control-trial diagnosis *)
      if json then
        json_print
          (Repro.Json.Obj [ ("control_failure", json_str reason) ])

@@ -79,5 +79,5 @@ if {$type == "ACK"} {
     stats.Pfi_layer.passed stats.Pfi_layer.dropped;
   print_endline "trace of dropped messages:";
   List.iter
-    (fun e -> Printf.printf "  %s\n" e.Trace.detail)
+    (fun e -> Printf.printf "  %s\n" (Trace.detail e))
     (Trace.find ~tag:"quickstart.dropped" (Sim.trace sim))

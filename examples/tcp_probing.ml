@@ -67,7 +67,7 @@ if {[msg_type cur_msg] == "DATA" && ![info exists probed]} {
   Sim.run ~until:(Vtime.add (Sim.now rig2.Tcp_rig.sim) (Vtime.sec 30)) rig2.Tcp_rig.sim;
   print_endline "spurious-ACK probe (acknowledging data never sent):";
   List.iter
-    (fun e -> Printf.printf "  injected: %s\n" e.Trace.detail)
+    (fun e -> Printf.printf "  injected: %s\n" (Trace.detail e))
     (Trace.find ~tag:"probe.injected" (Sim.trace rig2.Tcp_rig.sim));
   Printf.printf
     "  vendor ignored the out-of-range ACK and stayed %s (snd_una=%d)\n"

@@ -66,10 +66,11 @@ let transmit t ~kind ~bit payload =
   let msg = Message.create (encode ~kind ~bit payload) in
   Message.set_attr msg Pfi_netsim.Network.dst_attr t.peer;
   Message.set_attr msg "proto" "abp";
-  Message.set_attr msg "msc.label"
-    (if kind = kind_msg then
-       Printf.sprintf "MSG(%d) %s" bit (Bytes.to_string payload)
-     else Printf.sprintf "ACK(%d)" bit);
+  if Sim.want_labels t.sim then
+    Message.set_attr msg "msc.label"
+      (if kind = kind_msg then
+         Printf.sprintf "MSG(%d) %s" bit (Bytes.to_string payload)
+       else Printf.sprintf "ACK(%d)" bit);
   Layer.send_down (layer t) msg
 
 (* take the next queued message, if any, and put it on the wire *)

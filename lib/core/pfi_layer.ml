@@ -605,6 +605,8 @@ let create ~sim ~node ?(name = "pfi") ?(stub = Stubs.raw) ?blackboard () =
 
 let set_send_filter t src = t.send_script <- Some (Interp.compile src)
 let set_receive_filter t src = t.recv_script <- Some (Interp.compile src)
+let set_send_filter_compiled t script = t.send_script <- Some script
+let set_receive_filter_compiled t script = t.recv_script <- Some script
 let clear_send_filter t = t.send_script <- None
 let clear_receive_filter t = t.recv_script <- None
 

@@ -74,6 +74,13 @@ val connect : t list -> unit
 
 val set_send_filter : t -> string -> unit
 val set_receive_filter : t -> string -> unit
+
+val set_send_filter_compiled : t -> Pfi_script.Ast.script -> unit
+val set_receive_filter_compiled : t -> Pfi_script.Ast.script -> unit
+(** Install an already-compiled filter, skipping the parse — campaign
+    trials compile each fault script once ({!Pfi_script.Interp.compile})
+    and share the AST across every trial that uses the fault. *)
+
 val clear_send_filter : t -> unit
 val clear_receive_filter : t -> unit
 

@@ -69,6 +69,54 @@ let push t ~time value =
   t.live <- t.live + 1;
   h
 
+(* Grow the backing array once to hold [extra] more entries (doubling,
+   so repeated batches stay amortised O(1) per entry). *)
+let ensure_capacity t extra witness =
+  let needed = t.len + extra in
+  if Array.length t.heap < needed then begin
+    let rec cap c = if c >= needed then c else cap (2 * c) in
+    let heap = Array.make (cap (Stdlib.max 16 (Array.length t.heap))) witness in
+    Array.blit t.heap 0 heap 0 t.len;
+    t.heap <- heap
+  end
+
+let push_batch t items =
+  match items with
+  | [] -> []
+  | (time0, v0) :: _ ->
+    let n = List.length items in
+    let witness =
+      { time = time0; seq = t.next_seq; h = { state = Pending }; value = v0 }
+    in
+    ensure_capacity t n witness;
+    let handles =
+      List.map
+        (fun (time, value) ->
+          let h = { state = Pending } in
+          let entry = { time; seq = t.next_seq; h; value } in
+          t.next_seq <- t.next_seq + 1;
+          t.heap.(t.len) <- entry;
+          t.len <- t.len + 1;
+          h)
+        items
+    in
+    t.live <- t.live + n;
+    (* Appended entries sit past the old heap; sifting them up in append
+       order is exactly equivalent to sequential pushes (sift_up only
+       reads ancestors, and unsifted entries are never ancestors).  For
+       bulk loads a bottom-up heapify is O(len) instead of O(n log len);
+       either way pop order is fixed by the total (time, seq) order, so
+       the choice never shows through the interface. *)
+    if n < t.len / 4 then
+      for i = t.len - n to t.len - 1 do
+        sift_up t i
+      done
+    else
+      for i = (t.len / 2) - 1 downto 0 do
+        sift_down t i
+      done;
+    handles
+
 (* Rebuild the heap with only the pending entries.  Lazy reclamation
    alone frees a cancelled entry only when it reaches the heap top, so
    long-dated cancelled timers (re-armed retransmit timers, say) would
@@ -125,4 +173,18 @@ let pop t =
     top.h.state <- Fired;
     t.live <- t.live - 1;
     Some (top.time, top.value)
+  end
+
+let pop_until t ~until =
+  drain_dead t;
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    if Vtime.(top.time > until) then None
+    else begin
+      ignore (pop_top t);
+      top.h.state <- Fired;
+      t.live <- t.live - 1;
+      Some (top.time, top.value)
+    end
   end

@@ -27,6 +27,14 @@ val physical_size : 'a t -> int
 
 val push : 'a t -> time:Vtime.t -> 'a -> handle
 
+val push_batch : 'a t -> (Vtime.t * 'a) list -> handle list
+(** Pushes every (time, value) pair, growing the backing array at most
+    once; when the batch dominates the heap the order is restored with
+    a single bottom-up heapify (O(n)) instead of per-entry sift-ups.
+    Observably equivalent to [List.map (fun (time, v) -> push t ~time v)]
+    — handles come back in batch order, and pop order is fixed by the
+    total (time, insertion sequence) order either way. *)
+
 val cancel : 'a t -> handle -> unit
 (** Cancelling twice, or cancelling an already-popped event, is a no-op. *)
 
@@ -35,3 +43,10 @@ val peek_time : 'a t -> Vtime.t option
 
 val pop : 'a t -> (Vtime.t * 'a) option
 (** Removes and returns the earliest live event. *)
+
+val pop_until : 'a t -> until:Vtime.t -> (Vtime.t * 'a) option
+(** [pop_until t ~until] removes and returns the earliest live event at
+    time [<= until]; [None] — removing nothing — when the queue is empty
+    or the earliest live event lies beyond [until].  Fuses {!peek_time}
+    with {!pop} so the simulator loop inspects the heap top once per
+    fired event instead of twice. *)

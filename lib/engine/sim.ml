@@ -6,6 +6,8 @@ type t = {
   root_rng : Rng.t;
   trace : Trace.t;
   mutable stopping : bool;
+  mutable events : int;  (* callbacks fired over the sim's lifetime *)
+  mutable want_labels : bool;  (* a renderer wants msc.label decorations *)
 }
 
 exception Stop
@@ -39,7 +41,9 @@ let create ?seed () =
       clock = Vtime.zero;
       root_rng = Rng.create ~seed;
       trace = Trace.create ();
-      stopping = false }
+      stopping = false;
+      events = 0;
+      want_labels = false }
   in
   (match Atomic.get creation_hook with Some f -> f t | None -> ());
   t
@@ -47,9 +51,16 @@ let create ?seed () =
 let now t = t.clock
 let rng t = t.root_rng
 let trace t = t.trace
+let events t = t.events
 
 let record ?fields t ~node ~tag detail =
   Trace.record ?fields t.trace ~time:t.clock ~node ~tag detail
+
+let record_lazy ?fields t ~node ~tag detail =
+  Trace.record_lazy ?fields t.trace ~time:t.clock ~node ~tag detail
+
+let set_want_labels t flag = t.want_labels <- flag
+let want_labels t = t.want_labels
 
 let schedule_at t ~time callback =
   let time = Vtime.max time t.clock in
@@ -68,6 +79,7 @@ let step t =
   | None -> false
   | Some (time, callback) ->
     t.clock <- time;
+    t.events <- t.events + 1;
     callback ();
     true
 
@@ -80,12 +92,15 @@ let run ?(until = Vtime.infinity) ?(max_events = 10_000_000) t =
       failwith "Sim.run: max_events exceeded (runaway simulation?)"
     else if t.stopping then ()
     else
-      match Event_queue.peek_time t.queue with
-      | None -> ()
-      | Some time when Vtime.(time > until) ->
-        (* leave future events queued; clock parks at the horizon *)
-        t.clock <- until
-      | Some _ ->
-        if step t then loop (fired + 1)
+      match Event_queue.pop_until t.queue ~until with
+      | Some (time, callback) ->
+        t.clock <- time;
+        t.events <- t.events + 1;
+        callback ();
+        loop (fired + 1)
+      | None ->
+        (* either drained, or future events remain beyond the horizon;
+           in the latter case the clock parks at the horizon *)
+        if not (Event_queue.is_empty t.queue) then t.clock <- until
   in
   loop 0

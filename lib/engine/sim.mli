@@ -30,6 +30,21 @@ val record :
     [fields] attaches structured key/values alongside the detail
     string (see {!Trace.record}). *)
 
+val record_lazy :
+  ?fields:(string * string) list ->
+  t -> node:string -> tag:string -> string Lazy.t -> unit
+(** {!record} with a deferred detail string — see {!Trace.record_lazy}
+    for when to use it and what the thunk may capture. *)
+
+val set_want_labels : t -> bool -> unit
+(** Tells protocol layers whether any attached renderer consumes
+    per-message ["msc.label"] decorations.  Off by default; flipped on
+    by [Network.set_msc_enabled].  Layers consult {!want_labels} before
+    formatting a human-facing label on every send, so simulations with
+    no renderer attached (campaign trials) skip that cost entirely. *)
+
+val want_labels : t -> bool
+
 val set_create_hook : ((t -> unit) option) -> unit
 (** Process-wide hook invoked on every {!create} — lets a front end
     capture the simulations (and hence traces) that experiment
@@ -62,6 +77,11 @@ val schedule_at : t -> time:Vtime.t -> (unit -> unit) -> handle
 val cancel : t -> handle -> unit
 
 val pending : t -> int
+
+val events : t -> int
+(** Callbacks fired over the simulation's lifetime (monotonic across
+    {!run} calls).  The numerator of the engine benchmark's events/sec
+    figure. *)
 
 (** {1 Running} *)
 

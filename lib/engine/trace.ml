@@ -6,9 +6,11 @@ type entry = {
   time : Vtime.t;
   node : string;
   tag : string;
-  detail : string;
+  detail : string Lazy.t;
   fields : (string * string) list;
 }
+
+let detail e = Lazy.force e.detail
 
 (* growable vector of entry offsets — one per index bucket *)
 module Ivec = struct
@@ -29,6 +31,17 @@ module Ivec = struct
   let length v = v.len
 end
 
+(* Memo of the interned strings and index buckets resolved by the most
+   recent [record].  A protocol layer emits bursts of entries under one
+   (node, tag), so the common case skips all five hashtable lookups. *)
+type memo = {
+  m_node : string;
+  m_tag : string;
+  m_by_node : Ivec.t;
+  m_by_tag : Ivec.t;
+  m_by_node_tag : Ivec.t;
+}
+
 type t = {
   mutable store : entry array;
   mutable len : int;
@@ -36,6 +49,7 @@ type t = {
   by_node : (string, Ivec.t) Hashtbl.t;
   by_tag : (string, Ivec.t) Hashtbl.t;
   by_node_tag : (string * string, Ivec.t) Hashtbl.t;
+  mutable memo : memo option;
 }
 
 let create () =
@@ -44,7 +58,8 @@ let create () =
     intern = Hashtbl.create 64;
     by_node = Hashtbl.create 16;
     by_tag = Hashtbl.create 64;
-    by_node_tag = Hashtbl.create 64 }
+    by_node_tag = Hashtbl.create 64;
+    memo = None }
 
 let clear t =
   t.store <- [||];
@@ -52,7 +67,8 @@ let clear t =
   Hashtbl.reset t.intern;
   Hashtbl.reset t.by_node;
   Hashtbl.reset t.by_tag;
-  Hashtbl.reset t.by_node_tag
+  Hashtbl.reset t.by_node_tag;
+  t.memo <- None
 
 let intern t s =
   match Hashtbl.find_opt t.intern s with
@@ -69,9 +85,23 @@ let bucket tbl key =
     Hashtbl.add tbl key v;
     v
 
-let record ?(fields = []) t ~time ~node ~tag detail =
-  let node = intern t node and tag = intern t tag in
-  let e = { time; node; tag; detail; fields } in
+let record_lazy ?(fields = []) t ~time ~node ~tag detail =
+  let m =
+    match t.memo with
+    | Some m when String.equal m.m_node node && String.equal m.m_tag tag -> m
+    | _ ->
+      let node = intern t node and tag = intern t tag in
+      let m =
+        { m_node = node;
+          m_tag = tag;
+          m_by_node = bucket t.by_node node;
+          m_by_tag = bucket t.by_tag tag;
+          m_by_node_tag = bucket t.by_node_tag (node, tag) }
+      in
+      t.memo <- Some m;
+      m
+  in
+  let e = { time; node = m.m_node; tag = m.m_tag; detail; fields } in
   if Array.length t.store = 0 then t.store <- Array.make 64 e
   else if t.len >= Array.length t.store then begin
     let store = Array.make (Array.length t.store * 2) e in
@@ -81,9 +111,15 @@ let record ?(fields = []) t ~time ~node ~tag detail =
   t.store.(t.len) <- e;
   let i = t.len in
   t.len <- t.len + 1;
-  Ivec.push (bucket t.by_node node) i;
-  Ivec.push (bucket t.by_tag tag) i;
-  Ivec.push (bucket t.by_node_tag (node, tag)) i
+  Ivec.push m.m_by_node i;
+  Ivec.push m.m_by_tag i;
+  Ivec.push m.m_by_node_tag i
+
+(* [Lazy.from_val] on a string returns the string itself (no wrapper
+   block), so the strict path costs nothing over storing a plain
+   [string] field. *)
+let record ?fields t ~time ~node ~tag detail =
+  record_lazy ?fields t ~time ~node ~tag (Lazy.from_val detail)
 
 let length t = t.len
 
@@ -158,20 +194,61 @@ let last ?node ?tag t =
 (* JSONL export                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Length of the valid UTF-8 sequence starting at [i], or 0 if the byte
+   does not begin one (continuation byte, overlong encoding, surrogate,
+   or out-of-range lead).  Used to keep JSONL output valid UTF-8: trace
+   details can carry raw packet bytes. *)
+let utf8_seq_len s i =
+  let n = String.length s in
+  let b0 = Char.code s.[i] in
+  let cont j = j < n && Char.code s.[j] land 0xC0 = 0x80 in
+  if b0 < 0x80 then 1
+  else if b0 < 0xC2 then 0
+  else if b0 < 0xE0 then if cont (i + 1) then 2 else 0
+  else if b0 < 0xF0 then
+    if
+      cont (i + 1) && cont (i + 2)
+      && not (b0 = 0xE0 && Char.code s.[i + 1] < 0xA0)
+      && not (b0 = 0xED && Char.code s.[i + 1] >= 0xA0)
+    then 3
+    else 0
+  else if b0 < 0xF5 then
+    if
+      cont (i + 1) && cont (i + 2) && cont (i + 3)
+      && not (b0 = 0xF0 && Char.code s.[i + 1] < 0x90)
+      && not (b0 = 0xF4 && Char.code s.[i + 1] >= 0x90)
+    then 4
+    else 0
+  else 0
+
+(* Valid UTF-8 passes through untouched; a byte that is not part of a
+   valid sequence is escaped as [\u00XX] carrying the byte value, which
+   the artifact reader ({!Pfi_testgen.Repro}) maps back to the single
+   byte — so any byte string round-trips exactly while the emitted JSON
+   stays valid UTF-8. *)
 let add_json_string buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+     | '"' -> Buffer.add_string buf "\\\""; incr i
+     | '\\' -> Buffer.add_string buf "\\\\"; incr i
+     | '\n' -> Buffer.add_string buf "\\n"; incr i
+     | '\r' -> Buffer.add_string buf "\\r"; incr i
+     | '\t' -> Buffer.add_string buf "\\t"; incr i
+     | c when Char.code c < 0x20 ->
+       Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+       incr i
+     | c when Char.code c < 0x80 -> Buffer.add_char buf c; incr i
+     | c ->
+       (match utf8_seq_len s !i with
+        | 0 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+          incr i
+        | len -> Buffer.add_substring buf s !i len; i := !i + len))
+  done;
   Buffer.add_char buf '"'
 
 let add_entry_json ?(extra = []) buf e =
@@ -189,7 +266,7 @@ let add_entry_json ?(extra = []) buf e =
   Buffer.add_string buf ",\"tag\":";
   add_json_string buf e.tag;
   Buffer.add_string buf ",\"detail\":";
-  add_json_string buf e.detail;
+  add_json_string buf (Lazy.force e.detail);
   (match e.fields with
    | [] -> ()
    | fields ->
@@ -233,7 +310,8 @@ let output_jsonl ?extra ?node ?tag oc t =
 (* ------------------------------------------------------------------ *)
 
 let pp_entry ppf e =
-  Format.fprintf ppf "[%a] %-12s %-24s %s" Vtime.pp e.time e.node e.tag e.detail;
+  Format.fprintf ppf "[%a] %-12s %-24s %s" Vtime.pp e.time e.node e.tag
+    (Lazy.force e.detail);
   match e.fields with
   | [] -> ()
   | fields ->

@@ -17,10 +17,18 @@ type entry = {
   time : Vtime.t;
   node : string;  (** which participant recorded the entry *)
   tag : string;   (** category, e.g. ["tcp.retransmit"] or ["gmp.commit"] *)
-  detail : string;
+  detail : string Lazy.t;
+      (** rendered description; possibly deferred — read it with
+          {!detail}.  Hot protocol paths record via {!record_lazy} so
+          the formatting cost is only paid if something actually reads
+          the string (JSONL export, oracle detail matching, pretty
+          printing). *)
   fields : (string * string) list;
       (** optional structured payload; empty for plain entries *)
 }
+
+val detail : entry -> string
+(** Forces and returns the entry's detail string. *)
 
 type t
 
@@ -30,6 +38,16 @@ val record :
   ?fields:(string * string) list ->
   t -> time:Vtime.t -> node:string -> tag:string -> string -> unit
 (** Appends an entry.  [fields] defaults to none. *)
+
+val record_lazy :
+  ?fields:(string * string) list ->
+  t -> time:Vtime.t -> node:string -> tag:string -> string Lazy.t -> unit
+(** Like {!record}, but the detail string is only rendered when first
+    read.  For per-message recording on protocol hot paths, where a
+    campaign trial records thousands of entries whose details nothing
+    ever inspects.  The thunk must be pure and must capture only
+    immutable data: it may be forced long after the simulation step
+    that recorded it (or never). *)
 
 val clear : t -> unit
 

@@ -1,46 +1,46 @@
-type t = int64
+type t = int
 
-let zero = 0L
-let infinity = Int64.max_int
+let zero = 0
+let infinity = max_int
 
-let us n = Int64.of_int n
-let ms n = Int64.mul (Int64.of_int n) 1_000L
-let sec n = Int64.mul (Int64.of_int n) 1_000_000L
-let minutes n = Int64.mul (Int64.of_int n) 60_000_000L
-let hours n = Int64.mul (Int64.of_int n) 3_600_000_000L
+let us n = n
+let ms n = n * 1_000
+let sec n = n * 1_000_000
+let minutes n = n * 60_000_000
+let hours n = n * 3_600_000_000
 
-let of_sec_f f = Int64.of_float (f *. 1e6)
+let of_sec_f f = int_of_float (f *. 1e6)
 
-let to_us t = t
-let to_ms_f t = Int64.to_float t /. 1e3
-let to_sec_f t = Int64.to_float t /. 1e6
+let to_us t = Int64.of_int t
+let to_ms_f t = float_of_int t /. 1e3
+let to_sec_f t = float_of_int t /. 1e6
 
-let add = Int64.add
-let sub = Int64.sub
-let mul t n = Int64.mul t (Int64.of_int n)
-let div t n = Int64.div t (Int64.of_int n)
-let min a b = if Int64.compare a b <= 0 then a else b
-let max a b = if Int64.compare a b >= 0 then a else b
-let compare = Int64.compare
-let ( < ) a b = Int64.compare a b < 0
-let ( <= ) a b = Int64.compare a b <= 0
-let ( > ) a b = Int64.compare a b > 0
-let ( >= ) a b = Int64.compare a b >= 0
-let equal = Int64.equal
+let add = ( + )
+let sub = ( - )
+let mul t n = t * n
+let div t n = t / n
+let min : t -> t -> t = Stdlib.min
+let max : t -> t -> t = Stdlib.max
+let compare : t -> t -> int = Stdlib.compare
+let ( < ) : t -> t -> bool = Stdlib.( < )
+let ( <= ) : t -> t -> bool = Stdlib.( <= )
+let ( > ) : t -> t -> bool = Stdlib.( > )
+let ( >= ) : t -> t -> bool = Stdlib.( >= )
+let equal : t -> t -> bool = Stdlib.( = )
 
 let clamp ~lo ~hi t = min hi (max lo t)
 
 let round_up_to ~granule t =
-  if granule <= 0L then t
+  if granule <= 0 then t
   else
-    let rem = Int64.rem t granule in
-    if Int64.equal rem 0L then t else add t (sub granule rem)
+    let rem = t mod granule in
+    if rem = 0 then t else add t (sub granule rem)
 
 let pp ppf t =
-  let abs = Int64.abs t in
-  if Int64.equal t Int64.max_int then Format.pp_print_string ppf "inf"
-  else if Stdlib.( >= ) abs 1_000_000L then Format.fprintf ppf "%.3fs" (to_sec_f t)
-  else if Stdlib.( >= ) abs 1_000L then Format.fprintf ppf "%.3fms" (to_ms_f t)
-  else Format.fprintf ppf "%Ldus" t
+  let abs = Stdlib.abs t in
+  if t = max_int then Format.pp_print_string ppf "inf"
+  else if Stdlib.( >= ) abs 1_000_000 then Format.fprintf ppf "%.3fs" (to_sec_f t)
+  else if Stdlib.( >= ) abs 1_000 then Format.fprintf ppf "%.3fms" (to_ms_f t)
+  else Format.fprintf ppf "%dus" t
 
 let to_string t = Format.asprintf "%a" pp t

@@ -1,10 +1,14 @@
 (** Virtual time for the discrete-event simulator.
 
     Time is an absolute count of microseconds since the start of a
-    simulation, represented as an [int64].  Durations (spans) share the
-    representation; the arithmetic below keeps the two uses readable. *)
+    simulation, represented as a native [int] (63-bit on 64-bit
+    platforms, so the range runs out after ~146,000 years of simulated
+    time — far beyond any horizon).  The unboxed representation keeps
+    event-queue comparisons and trace records allocation-free on the
+    hot path.  Durations (spans) share the representation; the
+    arithmetic below keeps the two uses readable. *)
 
-type t = int64
+type t = int
 
 val zero : t
 
@@ -25,6 +29,9 @@ val of_sec_f : float -> t
 
 (** {1 Conversions} *)
 
+(** [to_us] gives the microsecond count as an [int64] — the stable
+    external form used in JSON artifacts, where the width is part of
+    the format. *)
 val to_us : t -> int64
 val to_ms_f : t -> float
 val to_sec_f : t -> float

@@ -1,0 +1,251 @@
+open Pfi_testgen
+
+type campaign_bench = {
+  cb_harness : string;
+  cb_trials : int;
+  cb_violations : int;
+  cb_sim_events : int;
+  cb_summary_digest : string;
+  cb_wall : (int * float) list;
+  cb_alloc_words_per_trial : float;
+}
+
+type scenario_bench = {
+  sb_count : int;
+  sb_passed : int;
+  sb_wall : float;
+}
+
+type t = {
+  b_jobs : int list;
+  b_campaigns : campaign_bench list;
+  b_scenarios : scenario_bench option;
+}
+
+let default_jobs = [ 1; 2; 4; 8 ]
+
+(* total words allocated by this domain so far; campaigns at jobs = 1
+   run entirely on the calling domain, so a delta around the run is the
+   campaign's own allocation *)
+let words_now () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let bench_campaign ~jobs name =
+  let (module H : Harness_intf.HARNESS) =
+    match Registry.find name with
+    | Some h -> h
+    | None -> failwith (Printf.sprintf "engine_bench: unknown harness %S" name)
+  in
+  let run_at jobs =
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      Campaign.run ~executor:(Executor.of_jobs jobs)
+        (module H : Harness_intf.HARNESS)
+        ()
+    in
+    (outcomes, Unix.gettimeofday () -. t0)
+  in
+  (* the jobs = 1 pass doubles as the allocation probe *)
+  let w0 = words_now () in
+  let base_outcomes, base_dt = run_at 1 in
+  let alloc_words = words_now () -. w0 in
+  let summary = Campaign.summary base_outcomes in
+  let digest = Digest.to_hex (Digest.string summary) in
+  let trials = List.length base_outcomes in
+  let wall =
+    List.map
+      (fun j ->
+        if j = 1 then (1, base_dt)
+        else begin
+          let outcomes, dt = run_at j in
+          (* the PR-3 invariant, re-checked on every benchmark run:
+             verdict output must not depend on the worker count *)
+          if not (String.equal summary (Campaign.summary outcomes)) then
+            failwith
+              (Printf.sprintf
+                 "engine_bench: %s summary at jobs=%d differs from jobs=1"
+                 name j);
+          (j, dt)
+        end)
+      jobs
+  in
+  { cb_harness = name;
+    cb_trials = trials;
+    cb_violations = List.length (Campaign.violations base_outcomes);
+    cb_sim_events =
+      List.fold_left (fun acc o -> acc + o.Campaign.sim_events) 0 base_outcomes;
+    cb_summary_digest = digest;
+    cb_wall = wall;
+    cb_alloc_words_per_trial =
+      (if trials = 0 then 0. else alloc_words /. float_of_int trials) }
+
+let bench_scenarios dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then None
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".pfis")
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)
+    in
+    if files = [] then None
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let passed =
+        List.fold_left
+          (fun acc file ->
+            let res = Scenario.run (Scenario.load file) in
+            match res.Scenario.res_outcome with
+            | Scenario.Pass | Scenario.Xfail -> acc + 1
+            | Scenario.Fail | Scenario.Xpass -> acc)
+          0 files
+      in
+      Some
+        { sb_count = List.length files;
+          sb_passed = passed;
+          sb_wall = Unix.gettimeofday () -. t0 }
+    end
+  end
+
+let run ?(jobs = default_jobs) ?harnesses ?scenario_dir () =
+  let jobs = if List.mem 1 jobs then jobs else 1 :: jobs in
+  let harnesses = Option.value harnesses ~default:Registry.names in
+  { b_jobs = jobs;
+    b_campaigns = List.map (bench_campaign ~jobs) harnesses;
+    b_scenarios = Option.bind scenario_dir bench_scenarios }
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_rate_by_jobs wall per =
+  Repro.Json.Obj
+    (List.map
+       (fun (j, dt) ->
+         (string_of_int j, Repro.Json.Float (if dt > 0. then per /. dt else 0.)))
+       wall)
+
+let campaign_json ~include_timing cb =
+  let base =
+    [ ("harness", Repro.Json.Str cb.cb_harness);
+      ("trials", Repro.Json.Int cb.cb_trials);
+      ("violations", Repro.Json.Int cb.cb_violations);
+      ("sim_events", Repro.Json.Int cb.cb_sim_events);
+      ("summary_digest", Repro.Json.Str cb.cb_summary_digest) ]
+  in
+  let timing =
+    if not include_timing then []
+    else
+      [ ("wall_s",
+         Repro.Json.Obj
+           (List.map
+              (fun (j, dt) -> (string_of_int j, Repro.Json.Float dt))
+              cb.cb_wall));
+        ("trials_per_sec",
+         json_rate_by_jobs cb.cb_wall (float_of_int cb.cb_trials));
+        ("events_per_sec",
+         json_rate_by_jobs cb.cb_wall (float_of_int cb.cb_sim_events));
+        ("alloc_words_per_trial",
+         Repro.Json.Float cb.cb_alloc_words_per_trial) ]
+  in
+  Repro.Json.Obj (base @ timing)
+
+let to_json ?(include_timing = true) t =
+  let totals =
+    let trials =
+      List.fold_left (fun a c -> a + c.cb_trials) 0 t.b_campaigns
+    in
+    let events =
+      List.fold_left (fun a c -> a + c.cb_sim_events) 0 t.b_campaigns
+    in
+    let wall_at j =
+      List.fold_left
+        (fun a c -> a +. List.assoc j c.cb_wall)
+        0. t.b_campaigns
+    in
+    let base =
+      [ ("trials", Repro.Json.Int trials);
+        ("sim_events", Repro.Json.Int events) ]
+    in
+    let timing =
+      if not include_timing then []
+      else
+        [ ("trials_per_sec",
+           Repro.Json.Obj
+             (List.map
+                (fun j ->
+                  let dt = wall_at j in
+                  ( string_of_int j,
+                    Repro.Json.Float
+                      (if dt > 0. then float_of_int trials /. dt else 0.) ))
+                t.b_jobs));
+          ("events_per_sec",
+           Repro.Json.Obj
+             (List.map
+                (fun j ->
+                  let dt = wall_at j in
+                  ( string_of_int j,
+                    Repro.Json.Float
+                      (if dt > 0. then float_of_int events /. dt else 0.) ))
+                t.b_jobs)) ]
+    in
+    Repro.Json.Obj (base @ timing)
+  in
+  Repro.Json.Obj
+    ([ ("schema", Repro.Json.Str "pfi-bench-engine/1");
+       ("jobs", Repro.Json.List (List.map (fun j -> Repro.Json.Int j) t.b_jobs));
+       ("campaigns",
+        Repro.Json.List
+          (List.map (campaign_json ~include_timing) t.b_campaigns)) ]
+     @ (match t.b_scenarios with
+        | None -> []
+        | Some sb ->
+          [ ("scenarios",
+             Repro.Json.Obj
+               ([ ("count", Repro.Json.Int sb.sb_count);
+                  ("passed", Repro.Json.Int sb.sb_passed) ]
+                @
+                if include_timing then
+                  [ ("wall_s", Repro.Json.Float sb.sb_wall) ]
+                else [])) ])
+     @ [ ("totals", totals) ])
+
+let to_string ?include_timing t =
+  Repro.Json.to_string (to_json ?include_timing t)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "== engine macro-benchmark ==@.";
+  Format.fprintf ppf "%-12s %7s %6s %10s" "harness" "trials" "viol" "events";
+  List.iter (fun j -> Format.fprintf ppf " %12s" (Printf.sprintf "tri/s j=%d" j))
+    t.b_jobs;
+  Format.fprintf ppf " %12s@." "alloc w/tri";
+  List.iter
+    (fun cb ->
+      Format.fprintf ppf "%-12s %7d %6d %10d" cb.cb_harness cb.cb_trials
+        cb.cb_violations cb.cb_sim_events;
+      List.iter
+        (fun j ->
+          let dt = List.assoc j cb.cb_wall in
+          Format.fprintf ppf " %12.1f"
+            (if dt > 0. then float_of_int cb.cb_trials /. dt else 0.))
+        t.b_jobs;
+      Format.fprintf ppf " %12.0f@." cb.cb_alloc_words_per_trial)
+    t.b_campaigns;
+  (match t.b_scenarios with
+   | None -> ()
+   | Some sb ->
+     Format.fprintf ppf "scenarios: %d/%d passed in %.2fs@." sb.sb_passed
+       sb.sb_count sb.sb_wall);
+  let trials = List.fold_left (fun a c -> a + c.cb_trials) 0 t.b_campaigns in
+  let events = List.fold_left (fun a c -> a + c.cb_sim_events) 0 t.b_campaigns in
+  List.iter
+    (fun j ->
+      let dt =
+        List.fold_left (fun a c -> a +. List.assoc j c.cb_wall) 0. t.b_campaigns
+      in
+      Format.fprintf ppf
+        "total jobs=%d: %.2fs, %.1f trials/sec, %.0f events/sec@." j dt
+        (if dt > 0. then float_of_int trials /. dt else 0.)
+        (if dt > 0. then float_of_int events /. dt else 0.))
+    t.b_jobs

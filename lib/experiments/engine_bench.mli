@@ -1,0 +1,68 @@
+(** The standing engine macro-benchmark behind [bench/main.exe macro].
+
+    Runs the stock fault-injection campaigns (ABP, GMP, TCP and their
+    buggy variants) at several [--jobs] widths plus the [*.pfis]
+    scenario conformance corpus, and reports engine throughput:
+    events/sec and trials/sec per width, and allocation words per trial
+    at [jobs = 1].  The result serialises to the [BENCH_engine.json]
+    artifact CI archives on every push, so engine hot-path regressions
+    show up as a number, not a feeling.
+
+    Everything measured is the deterministic campaign machinery: the
+    same seed always produces the same trials, verdicts and event
+    counts, so two runs of {!run} differ only in wall-clock figures.
+    {!to_json} can exclude those ([include_timing:false]), giving a
+    byte-comparable determinism witness — the property the test suite
+    pins.  As a side effect {!run} also re-verifies the PR-3 invariant:
+    each campaign's summary must be byte-identical at every width, and
+    a mismatch raises [Failure] rather than reporting a bogus number. *)
+
+type campaign_bench = {
+  cb_harness : string;
+  cb_trials : int;  (** planned = executed trials (excluding the control) *)
+  cb_violations : int;
+  cb_sim_events : int;
+      (** total simulator callbacks fired across all trials — identical
+          at every width, the events/sec numerator *)
+  cb_summary_digest : string;
+      (** MD5 hex of {!Pfi_testgen.Campaign.summary}, equal across
+          widths by construction (checked) *)
+  cb_wall : (int * float) list;  (** jobs → wall-clock seconds *)
+  cb_alloc_words_per_trial : float;
+      (** GC words allocated per trial during the [jobs = 1] run *)
+}
+
+type scenario_bench = {
+  sb_count : int;
+  sb_passed : int;  (** [Pass] or [Xfail] outcomes *)
+  sb_wall : float;
+}
+
+type t = {
+  b_jobs : int list;
+  b_campaigns : campaign_bench list;
+  b_scenarios : scenario_bench option;  (** [None] when no corpus dir *)
+}
+
+val run :
+  ?jobs:int list ->
+  ?harnesses:string list ->
+  ?scenario_dir:string ->
+  unit -> t
+(** Runs the macro benchmark.  [jobs] defaults to [[1; 2; 4; 8]];
+    [harnesses] to every {!Pfi_testgen.Registry} entry; [scenario_dir]
+    names a directory of [*.pfis] files (skipped when absent).  Raises
+    [Failure] if any campaign summary differs between widths. *)
+
+val to_json : ?include_timing:bool -> t -> Pfi_testgen.Repro.Json.t
+(** The [BENCH_engine.json] document.  [include_timing] (default
+    [true]) controls the wall-clock-derived fields — seconds,
+    trials/sec, events/sec, allocation words; with [false] the output
+    is a pure function of the seeds and code, byte-identical across
+    runs. *)
+
+val to_string : ?include_timing:bool -> t -> string
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable table of the same numbers (for terminals and the CI
+    step summary). *)

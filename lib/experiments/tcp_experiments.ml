@@ -75,7 +75,7 @@ let vendor_rexmt_log rig =
   in
   List.filter_map
     (fun e ->
-      match parse_seq e.Trace.detail with
+      match parse_seq (Trace.detail e) with
       | Some seq -> Some (seq, e.Trace.time)
       | None -> None)
     (Trace.find ~node:Tcp_rig.vendor_node ~tag:"tcp.retransmit"

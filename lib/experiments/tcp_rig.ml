@@ -55,7 +55,7 @@ let feed_vendor t ~conn ~chunk ~every ~count =
 let drop_log t ~tag =
   List.filter_map
     (fun e ->
-      match int_of_string_opt (String.trim e.Trace.detail) with
+      match int_of_string_opt (String.trim (Trace.detail e)) with
       | Some seq -> Some (seq, e.Trace.time)
       | None -> None)
     (Trace.find ~node:xk_node ~tag (Sim.trace t.sim))

@@ -169,9 +169,14 @@ let send t ?(reliable = true) ~dst_id (msg : Gmp_msg.t) =
        under byzantine corruption): log and drop rather than crash *)
     record t "gmp.unknown-peer" (Printf.sprintf "id=%d" dst_id)
   | Some dst ->
-    record t "gmp.send" (Printf.sprintf "to=%s %s" dst (Gmp_msg.describe msg));
+    (* per-message = the campaign hot path: defer the describe/sprintf
+       cost until something actually reads the entry, and only decorate
+       the wire message when an MSC renderer is listening *)
+    Sim.record_lazy t.sim ~node:t.node_name ~tag:"gmp.send"
+      (lazy (Printf.sprintf "to=%s %s" dst (Gmp_msg.describe msg)));
     let wire = Gmp_msg.to_message msg ~dst in
-    Message.set_attr wire "msc.label" (Gmp_msg.describe msg);
+    if Sim.want_labels t.sim then
+      Message.set_attr wire "msc.label" (Gmp_msg.describe msg);
     if reliable then Message.set_attr wire Rel_udp.reliable_attr "1";
     Layer.send_down (layer t) wire
 

@@ -17,13 +17,14 @@ let parse_arrival = function
 (* legacy detail format written by Network before structured fields:
    "dst=<dst> arrival=<us|-> | <label>" *)
 let parse_detail (e : Trace.entry) =
-  match String.index_opt e.Trace.detail '|' with
+  let detail = Trace.detail e in
+  match String.index_opt detail '|' with
   | None -> None
   | Some bar ->
-    let head = String.trim (String.sub e.Trace.detail 0 bar) in
+    let head = String.trim (String.sub detail 0 bar) in
     let label =
       String.trim
-        (String.sub e.Trace.detail (bar + 1) (String.length e.Trace.detail - bar - 1))
+        (String.sub detail (bar + 1) (String.length detail - bar - 1))
     in
     let fields =
       List.filter_map

@@ -63,8 +63,16 @@ let sent_count t = t.sent
 let delivered_count t = t.delivered
 let dropped_count t = t.dropped
 let set_trace_enabled t flag = t.trace_enabled <- flag
-let set_msc_enabled t flag = t.msc_enabled <- flag
+let set_msc_enabled t flag =
+  t.msc_enabled <- flag;
+  (* protocol layers only format msc.label decorations when a renderer
+     is listening (see Sim.set_want_labels) *)
+  Sim.set_want_labels t.sim flag
 
+(* Callers must check [t.trace_enabled] BEFORE building the fields list
+   and detail string: tracing is off in campaign trials, and eagerly
+   formatting per-transmission details that are then thrown away was
+   measurable across a whole campaign. *)
 let trace ?fields t ~node ~tag detail =
   if t.trace_enabled then Sim.record ?fields t.sim ~node ~tag detail
 
@@ -122,19 +130,21 @@ let drop ?sent_at t ~src ~dst msg reason =
   t.dropped <- t.dropped + 1;
   let sent_at = match sent_at with Some time -> time | None -> Sim.now t.sim in
   msc_record t ~time:sent_at ~src ~dst ~arrival:None msg;
-  trace t ~node:src ~tag:"net.drop"
-    ~fields:
-      [ ("src", src); ("dst", dst);
-        ("len", string_of_int (Message.length msg)); ("reason", reason) ]
-    (Printf.sprintf "to=%s reason=%s %s" dst reason (Message.hex ~max_bytes:8 msg))
+  if t.trace_enabled then
+    trace t ~node:src ~tag:"net.drop"
+      ~fields:
+        [ ("src", src); ("dst", dst);
+          ("len", string_of_int (Message.length msg)); ("reason", reason) ]
+      (Printf.sprintf "to=%s reason=%s %s" dst reason (Message.hex ~max_bytes:8 msg))
 
 (* Transmit one copy of [msg] from [src] to the single node [dst]. *)
 let transmit t ~src ~dst msg =
   t.sent <- t.sent + 1;
-  trace t ~node:src ~tag:"net.send"
-    ~fields:
-      [ ("src", src); ("dst", dst); ("len", string_of_int (Message.length msg)) ]
-    (Printf.sprintf "to=%s len=%d" dst (Message.length msg));
+  if t.trace_enabled then
+    trace t ~node:src ~tag:"net.send"
+      ~fields:
+        [ ("src", src); ("dst", dst); ("len", string_of_int (Message.length msg)) ]
+      (Printf.sprintf "to=%s len=%d" dst (Message.length msg));
   if Hashtbl.mem t.unplugged src then drop t ~src ~dst msg "src-unplugged"
   else if Hashtbl.mem t.unplugged dst then drop t ~src ~dst msg "dst-unplugged"
   else if Hashtbl.mem t.blocked (src, dst) then drop t ~src ~dst msg "blocked"
@@ -164,11 +174,12 @@ let transmit t ~src ~dst msg =
                  t.delivered <- t.delivered + 1;
                  msc_record t ~time:sent_at ~src ~dst ~arrival:(Some arrival) msg;
                  Message.set_attr msg src_attr src;
-                 trace t ~node:dst ~tag:"net.deliver"
-                   ~fields:
-                     [ ("src", src); ("dst", dst);
-                       ("len", string_of_int (Message.length msg)) ]
-                   (Printf.sprintf "from=%s len=%d" src (Message.length msg));
+                 if t.trace_enabled then
+                   trace t ~node:dst ~tag:"net.deliver"
+                     ~fields:
+                       [ ("src", src); ("dst", dst);
+                         ("len", string_of_int (Message.length msg)) ]
+                     (Printf.sprintf "from=%s len=%d" src (Message.length msg));
                  Layer.deliver_up device msg
                end))
   end

@@ -24,9 +24,37 @@ type t = {
   procs : (string, proc) Hashtbl.t;
   mutable out : string -> unit;
   mutable depth : int;
+  (* Interpreter-local compilation caches.  Filter scripts evaluate the
+     same handful of source strings (if/while bodies, expr conditions)
+     once per message, so parsing is memoized per interpreter: the keys
+     are the immutable source strings themselves and the parsed ASTs are
+     never mutated.  Per-interpreter (not global) so parallel campaign
+     domains never contend on a shared table. *)
+  script_cache : (string, Ast.script) Hashtbl.t;
+  token_cache : (string, Ast.token list) Hashtbl.t;
+  (* [Expr.eval] is a pure function of the substituted expression
+     string, so its result is cacheable too: type-dispatch conditions
+     like [{ACK} == "MSG"] take only a few distinct substituted forms
+     per trial.  Random-valued substitutions would grow the table
+     without bound, hence the flush. *)
+  expr_cache : (string, Expr.value) Hashtbl.t;
 }
 
 let max_depth = 500
+
+(* Flushing at a size cap keeps the caches O(1) for the pathological
+   case (a script synthesizing unbounded distinct source strings) while
+   costing nothing in the common case of a fixed script set. *)
+let max_cache_entries = 1024
+
+let cached tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = compute key in
+    if Hashtbl.length tbl >= max_cache_entries then Hashtbl.reset tbl;
+    Hashtbl.add tbl key v;
+    v
 
 (* ------------------------------------------------------------------ *)
 (* Variables                                                          *)
@@ -98,15 +126,24 @@ let get_output t = t.out
 let compile = Parser.parse
 
 let rec expand_tokens t tokens =
-  let buf = Buffer.create 32 in
-  List.iter
-    (fun token ->
-      match token with
-      | Ast.Lit s -> Buffer.add_string buf s
-      | Ast.Var_ref name -> Buffer.add_string buf (get_var_exn t name)
-      | Ast.Cmd_sub script -> Buffer.add_string buf (eval t script))
-    tokens;
-  Buffer.contents buf
+  match tokens with
+  (* singleton fast paths: almost every word is one token (the command
+     name, a plain argument, a lone [$var] or [cmd] substitution), and
+     none of those need a Buffer *)
+  | [] -> ""
+  | [ Ast.Lit s ] -> s
+  | [ Ast.Var_ref name ] -> get_var_exn t name
+  | [ Ast.Cmd_sub script ] -> eval t script
+  | tokens ->
+    let buf = Buffer.create 32 in
+    List.iter
+      (fun token ->
+        match token with
+        | Ast.Lit s -> Buffer.add_string buf s
+        | Ast.Var_ref name -> Buffer.add_string buf (get_var_exn t name)
+        | Ast.Cmd_sub script -> Buffer.add_string buf (eval t script))
+      tokens;
+    Buffer.contents buf
 
 and expand_word t = function
   | Ast.Braced s -> s
@@ -174,7 +211,11 @@ and call_proc t name proc args =
 and eval_script t script =
   List.fold_left (fun _ command -> eval_command t command) "" script
 
-and eval t src = eval_script t (Parser.parse src)
+(* [eval] is the per-message workhorse: control-flow commands ([if],
+   [while], ...) receive their bodies as unparsed braced strings and
+   evaluate them through here every time they run, so the parse is
+   memoized on the source string. *)
+and eval t src = eval_script t (cached t.script_cache src Parser.parse)
 
 let eval_compiled = eval_script
 
@@ -182,7 +223,9 @@ let eval_compiled = eval_script
 (* Substitution helpers                                               *)
 (* ------------------------------------------------------------------ *)
 
-let subst_string t src = expand_tokens t (Parser.tokenize src)
+let tokenized t src = cached t.token_cache src Parser.tokenize
+
+let subst_string t src = expand_tokens t (tokenized t src)
 
 (* For expr: substituted values that are not numeric literals are
    brace-quoted so the expression lexer reads them as string literals
@@ -200,11 +243,11 @@ let subst_expr t src =
       | Ast.Lit s -> Buffer.add_string buf s
       | Ast.Var_ref name -> Buffer.add_string buf (quote_value (get_var_exn t name))
       | Ast.Cmd_sub script -> Buffer.add_string buf (quote_value (eval t script)))
-    (Parser.tokenize src);
+    (tokenized t src);
   Buffer.contents buf
 
 let eval_expr t src =
-  match Expr.eval (subst_expr t src) with
+  match cached t.expr_cache (subst_expr t src) Expr.eval with
   | v -> v
   | exception Expr.Error msg -> error msg
 
@@ -223,4 +266,7 @@ let create ?(output = print_string) () =
     commands = Hashtbl.create 64;
     procs = Hashtbl.create 16;
     out = output;
-    depth = 0 }
+    depth = 0;
+    script_cache = Hashtbl.create 32;
+    token_cache = Hashtbl.create 32;
+    expr_cache = Hashtbl.create 64 }

@@ -1,5 +1,14 @@
 exception Parse_error of string
 
+(* How many times [parse] has run in this process.  The counter exists
+   so tests can assert that hot paths (campaign trials, per-message
+   filter evaluation) reuse compiled scripts instead of re-parsing
+   source text; atomic because parallel trial executors parse from
+   several domains. *)
+let parses = Atomic.make 0
+
+let parse_count () = Atomic.get parses
+
 (* A mutable cursor over the source string. *)
 type cursor = { src : string; mutable pos : int }
 
@@ -214,6 +223,7 @@ let scan_command c =
   List.rev !words
 
 let parse src =
+  Atomic.incr parses;
   let c = { src; pos = 0 } in
   let commands = ref [] in
   let rec loop () =

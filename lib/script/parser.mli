@@ -22,6 +22,12 @@ exception Parse_error of string
 val parse : string -> Ast.script
 (** Splits a whole script into commands. *)
 
+val parse_count : unit -> int
+(** Number of {!parse} calls so far in this process (all domains).
+    Monotonic; meant for regression tests that pin how often a hot path
+    re-parses source text — campaign trials must compile each fault
+    script once per campaign, not once per trial. *)
+
 val tokenize : string -> Ast.token list
 (** Scans a whole string into a substitution token sequence without any
     word splitting — used to substitute inside [expr] strings and by the

@@ -121,9 +121,13 @@ let rcv_window c =
 
 let emit c seg =
   let t = c.tcp in
-  record t "tcp.out" (Segment.describe seg);
+  (* per-segment = the hot path: defer the describe cost until the
+     entry is read, and only decorate for an attached MSC renderer *)
+  Sim.record_lazy t.sim ~node:t.node_name ~tag:"tcp.out"
+    (lazy (Segment.describe seg));
   let msg = Segment.to_message seg ~dst:c.remote_node in
-  Message.set_attr msg "msc.label" (Segment.describe seg);
+  if Sim.want_labels t.sim then
+    Message.set_attr msg "msc.label" (Segment.describe seg);
   Layer.send_down (layer t) msg
 
 let send_pure_ack c =

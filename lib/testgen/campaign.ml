@@ -12,6 +12,7 @@ type outcome = {
   seed : int64;
   verdict : verdict;
   injected_events : int;
+  sim_events : int;
   trace : Trace.t option;
 }
 
@@ -19,7 +20,10 @@ type trial = {
   t_fault : Generator.fault;
   t_side : side;
   t_seed : int64;
+  t_script : Pfi_script.Ast.script;
 }
+
+exception Control_failure of string
 
 let side_name = function
   | Send_filter -> "send"
@@ -58,31 +62,44 @@ let trial_seed ~campaign_seed ~side fault =
 let plan ?(sides = all_sides) ?(seed = default_seed) ?(target = "peer") ~spec
     () =
   let faults = Generator.campaign ~target spec in
+  (* compile each fault's filter once per campaign: the AST is immutable
+     and shared by every (side, executor-domain) trial that runs it,
+     instead of being re-parsed from source text once per trial *)
+  let compiled =
+    List.map
+      (fun fault -> (fault, Pfi_script.Interp.compile (Generator.script_of_fault fault)))
+      faults
+  in
   List.concat_map
     (fun side ->
       List.map
-        (fun fault ->
+        (fun (fault, script) ->
           { t_fault = fault;
             t_side = side;
-            t_seed = trial_seed ~campaign_seed:seed ~side fault })
-        faults)
+            t_seed = trial_seed ~campaign_seed:seed ~side fault;
+            t_script = script })
+        compiled)
     sides
 
 let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
-    ?(capture_trace = false) ?script ?(oracles = []) fault =
+    ?(capture_trace = false) ?script ?compiled ?(oracles = []) fault =
   let env = H.build ~seed in
   let pfi = H.pfi env in
-  let script =
-    match script with
-    | Some s -> s
-    | None -> Generator.script_of_fault fault
+  (* precedence: explicit source bytes (replay installs the recorded
+     script even if generator templates changed) > an already-compiled
+     campaign script > compiling the generated source here *)
+  let compiled =
+    match (script, compiled) with
+    | Some src, _ -> Pfi_script.Interp.compile src
+    | None, Some c -> c
+    | None, None -> Pfi_script.Interp.compile (Generator.script_of_fault fault)
   in
   (match side with
-   | Send_filter -> Pfi_core.Pfi_layer.set_send_filter pfi script
-   | Receive_filter -> Pfi_core.Pfi_layer.set_receive_filter pfi script
+   | Send_filter -> Pfi_core.Pfi_layer.set_send_filter_compiled pfi compiled
+   | Receive_filter -> Pfi_core.Pfi_layer.set_receive_filter_compiled pfi compiled
    | Both_filters ->
-     Pfi_core.Pfi_layer.set_send_filter pfi script;
-     Pfi_core.Pfi_layer.set_receive_filter pfi script);
+     Pfi_core.Pfi_layer.set_send_filter_compiled pfi compiled;
+     Pfi_core.Pfi_layer.set_receive_filter_compiled pfi compiled);
   H.workload env;
   let sim = H.sim env in
   Sim.run ~until:horizon sim;
@@ -103,6 +120,7 @@ let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
     seed;
     verdict;
     injected_events;
+    sim_events = Sim.events sim;
     trace = (if capture_trace then Some (Sim.trace sim) else None) }
 
 let run_planned (module H : Harness_intf.HARNESS)
@@ -113,7 +131,7 @@ let run_planned (module H : Harness_intf.HARNESS)
       run_trial
         (module H : Harness_intf.HARNESS)
         ~side:tr.t_side ~horizon ~seed:tr.t_seed ~capture_trace:capture_traces
-        ?oracles tr.t_fault)
+        ~compiled:tr.t_script ?oracles tr.t_fault)
     trials
 
 let control_trial (module H : Harness_intf.HARNESS) ?on_control
@@ -129,12 +147,7 @@ let control_trial (module H : Harness_intf.HARNESS) ?on_control
   (match on_control with Some f -> f (H.sim env) | None -> ());
   match checked with
   | Ok () -> ()
-  | Error reason ->
-    failwith
-      (Printf.sprintf
-         "campaign: the fault-free control trial already violates the oracle \
-          (%s) — harness or protocol is broken"
-         reason)
+  | Error reason -> raise (Control_failure reason)
 
 let run ?(sides = all_sides) ?seed ?executor ?capture_traces ?on_control
     ?horizon ?oracles (module H : Harness_intf.HARNESS) () =

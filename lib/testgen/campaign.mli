@@ -35,6 +35,9 @@ type outcome = {
   seed : int64;  (** the per-trial RNG seed the trial actually ran with *)
   verdict : verdict;
   injected_events : int;  (** [testgen.fault] trace entries *)
+  sim_events : int;
+      (** simulator callbacks fired by the trial ({!Sim.events}) — the
+          engine benchmark's events/sec numerator *)
   trace : Trace.t option;
       (** the trial sim's full trace, kept when the trial ran with
           [capture_trace]; [None] otherwise *)
@@ -44,9 +47,17 @@ type trial = {
   t_fault : Generator.fault;
   t_side : side;
   t_seed : int64;  (** derived via {!trial_seed} *)
+  t_script : Pfi_script.Ast.script;
+      (** the fault's filter, compiled once per (campaign, fault) by
+          {!plan} and shared by value across sides and executor domains *)
 }
 (** One campaign trial descriptor: everything an {!Executor.t} worker
     needs to run the trial on a fresh system of its own. *)
+
+exception Control_failure of string
+(** The fault-free control trial violated the harness check or an
+    oracle (the carried string is its diagnostic) — the harness or
+    protocol is broken, so every fault verdict would be meaningless. *)
 
 val side_name : side -> string
 (** ["send"], ["receive"] or ["both"] — the inverse of {!side_of_name}. *)
@@ -75,12 +86,16 @@ val plan :
 
 val run_trial :
   Harness_intf.packed -> side:side -> horizon:Vtime.t -> seed:int64 ->
-  ?capture_trace:bool -> ?script:string -> ?oracles:Oracle.t list ->
-  Generator.fault -> outcome
+  ?capture_trace:bool -> ?script:string -> ?compiled:Pfi_script.Ast.script ->
+  ?oracles:Oracle.t list -> Generator.fault -> outcome
 (** One isolated trial.  [script] overrides the generated filter text —
     replay installs the recorded script bytes rather than regenerating
     them, so an artifact stays reproducible even if the generator's
-    templates later change.  [capture_trace] keeps the trial sim's
+    templates later change.  [compiled] (used when [script] is absent)
+    installs an already-compiled filter, the campaign hot path: {!plan}
+    compiles each fault once and every trial shares the AST.  With
+    neither, the generated source is compiled here.
+    [capture_trace] keeps the trial sim's
     {!Trace.t} on the outcome (default false).  [oracles] are extra
     {!Oracle.t} conformance predicates evaluated over the trial trace
     after the harness's own [check]; the first failing oracle turns the
@@ -105,8 +120,8 @@ val run :
     harness's spec, target, default horizon and default seed unless
     overridden.  Also runs one fault-free control trial first — on the
     calling domain, seeded with the campaign seed — and raises
-    [Failure] if the oracle rejects it (a broken harness would make
-    every verdict meaningless).  [on_control] receives the control
+    {!Control_failure} if the oracle rejects it (a broken harness would
+    make every verdict meaningless).  [on_control] receives the control
     trial's sim after it ran (front ends use it to export the control
     trace). *)
 

@@ -39,7 +39,14 @@ let pooled_map ~jobs ~step f items =
       in
       loop ()
     in
-    let spawned = min (jobs - 1) (((n + step - 1) / step) - 1) in
+    (* clamp the worker count (this domain + spawned) to the number of
+       work chunks: [jobs] beyond the item count would only spawn idle
+       domains that fetch-and-add once and exit.  [exec_name] keeps
+       reporting the requested width — the clamp is per-map, the
+       executor is not. *)
+    let chunks = (n + step - 1) / step in
+    let workers = min jobs chunks in
+    let spawned = workers - 1 in
     let pool = List.init spawned (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join pool;

@@ -37,6 +37,12 @@ val domains : ?jobs:int -> unit -> t
     which is scheduling-dependent — never reorders outcomes.  [jobs]
     defaults to {!default_jobs} and is clamped to at least 1.
 
+    Each [try_map] call additionally clamps its worker count to the
+    number of work chunks ([min jobs (length items)] when [chunk = 1]),
+    so an executor requested wider than the input never spawns idle
+    domains; [exec_name] and [width] keep reporting the requested
+    value, which is what the next (possibly larger) map may use.
+
     Safe because each trial builds its own fresh [Sim]/stack from its
     descriptor seed: workers share only the read-only runner closure,
     the input array and the atomic queue head.  Runners must not rely

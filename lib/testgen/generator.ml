@@ -61,6 +61,22 @@ let fault_key fault =
     s;
   !h
 
+(* Message types leak into generated Tcl {e variable} names (n_DATA,
+   d_DATA, q_DATA).  A [$name] reference only scans alphanumerics and
+   underscores, so a type like TCP's "SYN-ACK" would produce
+   [$d_SYN-ACK] — read as [$d_SYN] followed by the literal "-ACK" — and
+   the trial would die on an unset variable.  Characters outside the
+   variable-name alphabet are mapped to '_'; alphanumeric types (every
+   ABP and GMP type) pass through unchanged, keeping their generated
+   scripts byte-identical. *)
+let tcl_name mtype =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    mtype
+
 (* All generated scripts share the type test; everything else hangs off
    it.  The scripts are deliberately plain — they are meant to be
    readable in test reports. *)
@@ -75,6 +91,7 @@ if {[msg_type cur_msg] == "%s"} {
 }
 |} mtype mtype
   | Drop_after (mtype, n) ->
+    let v = tcl_name mtype in
     Printf.sprintf {|
 # generated: let %d %s through, then drop
 if {[msg_type cur_msg] == "%s"} {
@@ -85,7 +102,7 @@ if {[msg_type cur_msg] == "%s"} {
     xDrop cur_msg
   }
 }
-|} n mtype mtype mtype mtype mtype mtype n
+|} n mtype mtype v v v v n
   | Drop_fraction (mtype, p) ->
     Printf.sprintf {|
 # generated: omission failure on %s
@@ -119,6 +136,7 @@ if {[msg_type cur_msg] == "%s" && [chance %.4f] == 1} {
 }
 |} mtype mtype p
   | Drop_first (mtype, n) ->
+    let v = tcl_name mtype in
     Printf.sprintf {|
 # generated: transient outage, the first %d %s frames are lost
 if {[msg_type cur_msg] == "%s"} {
@@ -129,7 +147,7 @@ if {[msg_type cur_msg] == "%s"} {
     xDrop cur_msg
   }
 }
-|} n mtype mtype mtype mtype mtype n mtype
+|} n mtype mtype v v v n v
   | Omission_all p ->
     Printf.sprintf {|
 # generated: general omission across all message types
@@ -151,6 +169,7 @@ if {$r < %.4f} {
 }
 |} p (2.0 *. p)
   | Reorder mtype ->
+    let v = tcl_name mtype in
     Printf.sprintf {|
 # generated: reorder consecutive %s (hold one, release after the next)
 if {[msg_type cur_msg] == "%s"} {
@@ -162,7 +181,7 @@ if {[msg_type cur_msg] == "%s"} {
 } else {
   xRelease q_%s
 }
-|} mtype mtype mtype mtype mtype
+|} mtype mtype v v v
   | Inject_spurious (m, dst) ->
     let args =
       String.concat " "

@@ -105,4 +105,4 @@ let harness ?(bugs = Gmd.no_bugs) () : Harness_intf.packed =
 let run_campaign ?bugs ?seed ?executor () =
   match Campaign.run ?seed ?executor (harness ?bugs ()) () with
   | outcomes -> Ok outcomes
-  | exception Failure reason -> Error reason
+  | exception Campaign.Control_failure reason -> Error reason

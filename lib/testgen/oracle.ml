@@ -26,7 +26,7 @@ let pattern_matches p (e : Trace.entry) =
   (match p.p_node with Some n -> e.Trace.node = n | None -> true)
   && (match p.p_tag with Some g -> e.Trace.tag = g | None -> true)
   && (match p.p_detail with
-      | Some d -> contains_sub e.Trace.detail d
+      | Some d -> contains_sub (Trace.detail e) d
       | None -> true)
   && List.for_all
        (fun (k, v) -> List.assoc_opt k e.Trace.fields = Some v)
@@ -109,7 +109,7 @@ type verdict = {
 let entry_cite i (e : Trace.entry) =
   Printf.sprintf "#%d @%s %s %s %S" i
     (Vtime.to_string e.Trace.time)
-    e.Trace.node e.Trace.tag e.Trace.detail
+    e.Trace.node e.Trace.tag (Trace.detail e)
 
 (* every (index, entry) matching [p], using the (node, tag) indexes when
    the pattern constrains them *)

@@ -119,9 +119,12 @@ module Json = struct
                try int_of_string ("0x" ^ hex)
                with _ -> fail "bad \\u escape"
              in
-             (* the writer only escapes control characters this way, so
-                decoding the BMP-as-bytes cases we emit is enough *)
-             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             (* the writer ({!Trace.add_json_string}) emits [\u00XX]
+                only for raw bytes — control characters and bytes that
+                are not valid UTF-8 — so codes up to 0xFF decode back to
+                the single byte (exact round-trip); larger codes are the
+                BMP-as-UTF-8 cases *)
+             if code <= 0xFF then Buffer.add_char buf (Char.chr code)
              else if code < 0x800 then begin
                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
@@ -454,7 +457,7 @@ let step_of_json j =
   Ok
     { step_fault = fault;
       step_side = side;
-      step_horizon = horizon_us;
+      step_horizon = Vtime.us (Int64.to_int horizon_us);
       step_seed = seed;
       step_size = size;
       step_reason = reason }
@@ -503,7 +506,7 @@ let of_string (s : string) : (t, string) result =
         target;
         fault;
         side;
-        horizon = horizon_us;
+        horizon = Vtime.us (Int64.to_int horizon_us);
         seed;
         campaign_seed;
         script;

@@ -380,7 +380,7 @@ let test_msg_log_records () =
   match entries with
   | e :: _ ->
     Alcotest.(check bool) "describes the packet" true
-      (String.length e.Trace.detail > 0)
+      (String.length (Trace.detail e) > 0)
   | [] -> ()
 
 (* ------------------------------------------------------------------ *)

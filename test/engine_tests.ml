@@ -8,34 +8,37 @@ let check_i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
 (* Vtime                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let check_vt = Alcotest.testable Vtime.pp Vtime.equal
+
 let test_vtime_constructors () =
-  Alcotest.check check_i64 "us" 42L (Vtime.us 42);
-  Alcotest.check check_i64 "ms" 42_000L (Vtime.ms 42);
-  Alcotest.check check_i64 "sec" 42_000_000L (Vtime.sec 42);
-  Alcotest.check check_i64 "minutes" 60_000_000L (Vtime.minutes 1);
-  Alcotest.check check_i64 "hours" 3_600_000_000L (Vtime.hours 1);
-  Alcotest.check check_i64 "of_sec_f" 330_000L (Vtime.of_sec_f 0.33)
+  Alcotest.check check_vt "us" 42 (Vtime.us 42);
+  Alcotest.check check_vt "ms" 42_000 (Vtime.ms 42);
+  Alcotest.check check_vt "sec" 42_000_000 (Vtime.sec 42);
+  Alcotest.check check_vt "minutes" 60_000_000 (Vtime.minutes 1);
+  Alcotest.check check_vt "hours" 3_600_000_000 (Vtime.hours 1);
+  Alcotest.check check_vt "of_sec_f" 330_000 (Vtime.of_sec_f 0.33);
+  Alcotest.(check int64) "to_us" 42_000L (Vtime.to_us (Vtime.ms 42))
 
 let test_vtime_arith () =
-  Alcotest.check check_i64 "add" (Vtime.sec 3) (Vtime.add (Vtime.sec 1) (Vtime.sec 2));
-  Alcotest.check check_i64 "sub" (Vtime.sec 1) (Vtime.sub (Vtime.sec 3) (Vtime.sec 2));
-  Alcotest.check check_i64 "mul" (Vtime.sec 6) (Vtime.mul (Vtime.sec 3) 2);
-  Alcotest.check check_i64 "div" (Vtime.sec 3) (Vtime.div (Vtime.sec 6) 2);
-  Alcotest.check check_i64 "min" (Vtime.sec 1) (Vtime.min (Vtime.sec 1) (Vtime.sec 2));
-  Alcotest.check check_i64 "max" (Vtime.sec 2) (Vtime.max (Vtime.sec 1) (Vtime.sec 2));
+  Alcotest.check check_vt "add" (Vtime.sec 3) (Vtime.add (Vtime.sec 1) (Vtime.sec 2));
+  Alcotest.check check_vt "sub" (Vtime.sec 1) (Vtime.sub (Vtime.sec 3) (Vtime.sec 2));
+  Alcotest.check check_vt "mul" (Vtime.sec 6) (Vtime.mul (Vtime.sec 3) 2);
+  Alcotest.check check_vt "div" (Vtime.sec 3) (Vtime.div (Vtime.sec 6) 2);
+  Alcotest.check check_vt "min" (Vtime.sec 1) (Vtime.min (Vtime.sec 1) (Vtime.sec 2));
+  Alcotest.check check_vt "max" (Vtime.sec 2) (Vtime.max (Vtime.sec 1) (Vtime.sec 2));
   Alcotest.(check bool) "lt" true Vtime.(Vtime.sec 1 < Vtime.sec 2);
   Alcotest.(check bool) "ge" true Vtime.(Vtime.sec 2 >= Vtime.sec 2)
 
 let test_vtime_clamp_round () =
-  Alcotest.check check_i64 "clamp low"
+  Alcotest.check check_vt "clamp low"
     (Vtime.sec 1) (Vtime.clamp ~lo:(Vtime.sec 1) ~hi:(Vtime.sec 10) (Vtime.ms 1));
-  Alcotest.check check_i64 "clamp high"
+  Alcotest.check check_vt "clamp high"
     (Vtime.sec 10) (Vtime.clamp ~lo:(Vtime.sec 1) ~hi:(Vtime.sec 10) (Vtime.sec 99));
-  Alcotest.check check_i64 "round exact"
+  Alcotest.check check_vt "round exact"
     (Vtime.ms 500) (Vtime.round_up_to ~granule:(Vtime.ms 500) (Vtime.ms 500));
-  Alcotest.check check_i64 "round up"
+  Alcotest.check check_vt "round up"
     (Vtime.ms 1000) (Vtime.round_up_to ~granule:(Vtime.ms 500) (Vtime.ms 501));
-  Alcotest.check check_i64 "round zero granule"
+  Alcotest.check check_vt "round zero granule"
     (Vtime.ms 123) (Vtime.round_up_to ~granule:Vtime.zero (Vtime.ms 123))
 
 let test_vtime_pp () =
@@ -261,7 +264,7 @@ let test_sim_clock_advances () =
   ignore (Sim.schedule sim ~delay:(Vtime.sec 2) (fun () -> seen := ("b", Sim.now sim) :: !seen));
   ignore (Sim.schedule sim ~delay:(Vtime.sec 1) (fun () -> seen := ("a", Sim.now sim) :: !seen));
   Sim.run sim;
-  Alcotest.(check (list (pair string check_i64)))
+  Alcotest.(check (list (pair string check_vt)))
     "order and clock" [ ("a", Vtime.sec 1); ("b", Vtime.sec 2) ] (List.rev !seen)
 
 let test_sim_nested_schedule () =
@@ -273,7 +276,7 @@ let test_sim_nested_schedule () =
          ignore (Sim.schedule sim ~delay:(Vtime.sec 1) (fun () -> fired := "inner" :: !fired))));
   Sim.run sim;
   Alcotest.(check (list string)) "nested fires" [ "outer"; "inner" ] (List.rev !fired);
-  Alcotest.check check_i64 "final clock" (Vtime.sec 2) (Sim.now sim)
+  Alcotest.check check_vt "final clock" (Vtime.sec 2) (Sim.now sim)
 
 let test_sim_until () =
   let sim = Sim.create () in
@@ -283,7 +286,7 @@ let test_sim_until () =
   done;
   Sim.run ~until:(Vtime.sec 5) sim;
   Alcotest.(check int) "events up to horizon" 5 !fired;
-  Alcotest.check check_i64 "clock parked" (Vtime.sec 5) (Sim.now sim);
+  Alcotest.check check_vt "clock parked" (Vtime.sec 5) (Sim.now sim);
   Sim.run sim;
   Alcotest.(check int) "rest fire on resume" 10 !fired
 
@@ -313,7 +316,7 @@ let test_sim_trace () =
   Sim.run sim;
   match Trace.entries (Sim.trace sim) with
   | [ e ] ->
-    Alcotest.check check_i64 "stamped with virtual time" (Vtime.sec 1) e.Trace.time;
+    Alcotest.check check_vt "stamped with virtual time" (Vtime.sec 1) e.Trace.time;
     Alcotest.(check string) "node" "n1" e.Trace.node
   | _ -> Alcotest.fail "expected exactly one trace entry"
 
@@ -329,7 +332,7 @@ let test_timer_one_shot () =
   Timer.arm t ~delay:(Vtime.sec 3);
   Alcotest.(check bool) "armed" true (Timer.is_armed t);
   Sim.run sim;
-  Alcotest.(check (list check_i64)) "fired once at 3s" [ Vtime.sec 3 ] !fired;
+  Alcotest.(check (list check_vt)) "fired once at 3s" [ Vtime.sec 3 ] !fired;
   Alcotest.(check bool) "disarmed after fire" false (Timer.is_armed t);
   Alcotest.(check int) "fired count" 1 (Timer.fired_count t)
 
@@ -340,7 +343,7 @@ let test_timer_rearm_replaces () =
   Timer.arm t ~delay:(Vtime.sec 3);
   Timer.arm t ~delay:(Vtime.sec 10);
   Sim.run sim;
-  Alcotest.(check (list check_i64)) "only the re-armed deadline" [ Vtime.sec 10 ] !fired
+  Alcotest.(check (list check_vt)) "only the re-armed deadline" [ Vtime.sec 10 ] !fired
 
 let test_timer_disarm () =
   let sim = Sim.create () in
@@ -360,7 +363,7 @@ let test_timer_periodic () =
   in
   Timer.arm t ~delay:(Vtime.sec 1);
   Sim.run ~until:(Vtime.sec 8) sim;
-  Alcotest.(check (list check_i64)) "periodic schedule"
+  Alcotest.(check (list check_vt)) "periodic schedule"
     [ Vtime.sec 1; Vtime.sec 3; Vtime.sec 5; Vtime.sec 7 ]
     (List.rev !fired);
   Timer.disarm t;
@@ -386,14 +389,14 @@ let test_trace_queries () =
   Trace.record tr ~time:(Vtime.sec 8) ~node:"a" ~tag:"x" "4";
   Alcotest.(check int) "count tag x" 3 (Trace.count ~tag:"x" tr);
   Alcotest.(check int) "count node a tag x" 2 (Trace.count ~node:"a" ~tag:"x" tr);
-  Alcotest.(check (list check_i64)) "timestamps"
+  Alcotest.(check (list check_vt)) "timestamps"
     [ Vtime.sec 1; Vtime.sec 2; Vtime.sec 8 ]
     (Trace.timestamps ~tag:"x" tr);
-  Alcotest.(check (list check_i64)) "intervals"
+  Alcotest.(check (list check_vt)) "intervals"
     [ Vtime.sec 1; Vtime.sec 6 ]
     (Trace.intervals ~tag:"x" tr);
   (match Trace.last ~tag:"x" tr with
-   | Some e -> Alcotest.(check string) "last detail" "4" e.Trace.detail
+   | Some e -> Alcotest.(check string) "last detail" "4" (Trace.detail e)
    | None -> Alcotest.fail "expected a last entry");
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (Trace.length tr)
@@ -427,7 +430,8 @@ let test_trace_jsonl () =
     lines;
   let with_extra =
     Trace.entry_to_json ~extra:[ ("run", "r1") ]
-      { Trace.time = Vtime.us 3; node = "n"; tag = "t"; detail = "d"; fields = [] }
+      { Trace.time = Vtime.us 3; node = "n"; tag = "t";
+        detail = Lazy.from_val "d"; fields = [] }
   in
   Alcotest.(check string) "extra pairs after t_us"
     {|{"t_us":3,"run":"r1","node":"n","tag":"t","detail":"d"}|} with_extra

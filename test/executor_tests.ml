@@ -50,6 +50,41 @@ let test_more_jobs_than_items () =
   Alcotest.(check (list int)) "jobs > items" (items 3)
     (Executor.map (Executor.domains ~jobs:8 ()) (fun i -> i) (items 3))
 
+(* the oversubscription fix: a map over fewer items than workers must
+   not spawn idle domains.  Three items through an 8-wide pool may
+   touch at most three distinct domains, while [exec_name]/[width]
+   keep reporting the requested figure (the next map may be larger). *)
+let test_clamp_no_oversubscription () =
+  let executor = Executor.domains ~jobs:8 () in
+  Alcotest.(check string) "name reports the requested width" "domains(8)"
+    (Executor.name executor);
+  Alcotest.(check int) "width reports the requested figure" 8
+    executor.Executor.width;
+  let seen = Atomic.make [] in
+  let note d =
+    let rec add () =
+      let old = Atomic.get seen in
+      if List.mem d old then ()
+      else if not (Atomic.compare_and_set seen old (d :: old)) then add ()
+    in
+    add ()
+  in
+  let results =
+    Executor.map executor
+      (fun x ->
+        note (Domain.self () :> int);
+        x)
+      (items 3)
+  in
+  Alcotest.(check (list int)) "results intact" (items 3) results;
+  let distinct = List.length (Atomic.get seen) in
+  Alcotest.(check bool)
+    (Printf.sprintf "at most 3 domains used for 3 items (saw %d)" distinct)
+    true (distinct <= 3);
+  (* and the same executor still fans out a wide map afterwards *)
+  Alcotest.(check (list int)) "wide map after clamped map" (items 64)
+    (Executor.map executor (fun x -> x) (items 64))
+
 (* ------------------------------------------------------------------ *)
 (* Exception isolation: no lost trials                                *)
 (* ------------------------------------------------------------------ *)
@@ -190,6 +225,7 @@ let test_shrink_executor_same_trajectory () =
            Campaign.Violation "synthetic"
          | _ -> Campaign.Tolerated);
       Campaign.injected_events = 0;
+      Campaign.sim_events = 0;
       Campaign.trace = None }
   in
   let minimize executor =
@@ -214,6 +250,8 @@ let suite =
     Alcotest.test_case "chunked executor matches sequential" `Quick
       test_chunked_matches_sequential;
     Alcotest.test_case "more workers than trials" `Quick test_more_jobs_than_items;
+    Alcotest.test_case "clamp: no idle domains when items < jobs" `Quick
+      test_clamp_no_oversubscription;
     Alcotest.test_case "worker exception loses no trials" `Quick
       test_no_lost_trials_on_exception;
     Alcotest.test_case "map re-raises the first error by index" `Quick

@@ -210,22 +210,45 @@ let prop_event_queue_model =
       | Some t, (mt, _) :: _ -> expect (Vtime.equal t mt)
       | _ -> expect false
     in
+    let merge_into time id =
+      model :=
+        List.merge
+          (fun (t1, i1) (t2, i2) ->
+            let c = Vtime.compare t1 t2 in
+            if c <> 0 then c else compare i1 i2)
+          [ (time, id) ] !model
+    in
     List.iter
       (fun code ->
         (match code mod 10 with
-         | 0 | 1 | 2 | 3 | 4 | 5 ->
+         | 0 | 1 | 2 | 3 ->
            (* push; many collisions at the same time to exercise FIFO *)
            let time = Vtime.sec (code mod 7) in
            let id = !next_id in
            incr next_id;
            let h = Event_queue.push q ~time id in
            handles := Array.append !handles [| (h, time, id) |];
-           model :=
-             List.merge
-               (fun (t1, i1) (t2, i2) ->
-                 let c = Vtime.compare t1 t2 in
-                 if c <> 0 then c else compare i1 i2)
-               [ (time, id) ] !model
+           merge_into time id
+         | 4 | 5 ->
+           (* push_batch: 0-4 entries, observably = sequential pushes.
+              Sizes span both rebuild strategies (per-entry sift-up for
+              small batches, bottom-up heapify when the batch dominates
+              a small heap). *)
+           let k = (code / 10) mod 5 in
+           let items =
+             List.init k (fun i ->
+                 let time = Vtime.sec ((code + (3 * i)) mod 7) in
+                 let id = !next_id in
+                 incr next_id;
+                 (time, id))
+           in
+           let hs = Event_queue.push_batch q items in
+           expect (List.length hs = k);
+           List.iter2
+             (fun h (time, id) ->
+               handles := Array.append !handles [| (h, time, id) |];
+               merge_into time id)
+             hs items
          | 6 | 7 ->
            (* cancel an arbitrary past handle (live, popped or dead) *)
            if Array.length !handles > 0 then begin
@@ -234,14 +257,27 @@ let prop_event_queue_model =
              Event_queue.cancel q h (* double cancel is a no-op *);
              model := List.filter (fun (_, i) -> i <> id) !model
            end
-         | _ ->
+         | 8 ->
            (match (Event_queue.pop q, !model) with
             | None, [] -> ()
             | Some (t, v), (mt, mid) :: rest ->
               expect (Vtime.equal t mt);
               expect (v = mid);
               model := rest
-            | _ -> expect false));
+            | _ -> expect false)
+         | _ ->
+           (* pop_until: pops the head iff it lies within the horizon,
+              removing nothing otherwise — the simulator's fused loop *)
+           let until = Vtime.sec (code mod 7) in
+           (match (Event_queue.pop_until q ~until, !model) with
+            | None, [] -> ()
+            | None, (mt, _) :: _ -> expect (Vtime.compare mt until > 0)
+            | Some (t, v), (mt, mid) :: rest ->
+              expect (Vtime.compare mt until <= 0);
+              expect (Vtime.equal t mt);
+              expect (v = mid);
+              model := rest
+            | Some _, [] -> expect false));
         check_invariants ())
       codes;
     (* drain: everything left must come out in model order *)
@@ -254,7 +290,8 @@ let prop_event_queue_model =
     expect (Event_queue.pop q = None);
     !ok
   in
-  QCheck.Test.make ~name:"event queue agrees with a sorted-list model"
+  QCheck.Test.make
+    ~name:"event queue (incl. push_batch/pop_until) agrees with a sorted-list model"
     ~count:300
     QCheck.(list_of_size (QCheck.Gen.int_range 1 150) (int_range 0 1000))
     interpret

@@ -310,6 +310,7 @@ let synthetic_outcome verdict st =
     Campaign.seed = 0L;
     Campaign.verdict;
     Campaign.injected_events = 0;
+    Campaign.sim_events = 0;
     Campaign.trace = None }
 
 let test_minimize_always_violating () =
@@ -489,6 +490,45 @@ let test_golden_summary () =
   check_golden ~path:"golden/tiny_abp_summary.expected"
     (Campaign.summary (tiny_abp_outcomes ()))
 
+(* the JSONL escaping fix, end to end: a trace detail (and field value)
+   carrying every byte 0x00-0xFF must emit parseable JSON — valid
+   UTF-8 sequences pass through raw, stray bytes become \u00XX — and
+   the artifact reader must map it back to the identical byte string. *)
+let test_jsonl_full_byte_range_roundtrip () =
+  let all = String.init 256 Char.chr in
+  let tr = Trace.create () in
+  Trace.record tr ~time:(Vtime.us 1) ~node:"n" ~tag:"t"
+    ~fields:[ ("k", all) ] all;
+  let line = String.trim (Trace.to_jsonl tr) in
+  (match Repro.Json.parse line with
+   | Error e -> Alcotest.failf "emitted JSONL does not parse back: %s" e
+   | Ok json ->
+     Alcotest.(check (option string)) "detail round-trips all 256 bytes"
+       (Some all)
+       (Option.bind (Repro.Json.member "detail" json) Repro.Json.to_str);
+     Alcotest.(check (option string)) "field value round-trips too" (Some all)
+       (Option.bind
+          (Option.bind (Repro.Json.member "fields" json)
+             (Repro.Json.member "k"))
+          Repro.Json.to_str));
+  (* a real multi-byte sequence must pass through untouched, not be
+     byte-escaped: the log stays human-readable for UTF-8 details *)
+  let tr2 = Trace.create () in
+  Trace.record tr2 ~time:(Vtime.us 2) ~node:"n" ~tag:"t" "caf\xc3\xa9";
+  let line2 = Trace.to_jsonl tr2 in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i =
+      i + n <= h && (String.equal (String.sub hay i n) needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "UTF-8 sequence emitted raw" true
+    (contains line2 "caf\xc3\xa9");
+  (* ...while a lone continuation byte is escaped as its byte value *)
+  Alcotest.(check bool) "stray byte escaped as \\u00XX" true
+    (contains (String.trim (Trace.to_jsonl tr)) "\\u0080")
+
 let test_golden_repro_json () =
   match tiny_abp_outcomes () with
   | [ _; _; violation ] ->
@@ -548,5 +588,7 @@ let suite =
       test_shrink_gmp_buggy_end_to_end;
     Alcotest.test_case "golden: tiny abp campaign summary" `Quick
       test_golden_summary;
+    Alcotest.test_case "jsonl round-trips every byte value" `Quick
+      test_jsonl_full_byte_range_roundtrip;
     Alcotest.test_case "golden: repro artifact json" `Quick
       test_golden_repro_json ]

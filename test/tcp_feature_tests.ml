@@ -97,7 +97,8 @@ let ack_times sim ~node =
   List.filter_map
     (fun e ->
       let is_pure_ack =
-        String.length e.Trace.detail >= 4 && String.sub e.Trace.detail 0 4 = "ACK "
+        let d = Trace.detail e in
+        String.length d >= 4 && String.sub d 0 4 = "ACK "
       in
       if is_pure_ack then Some e.Trace.time else None)
     (Trace.find ~node ~tag:"tcp.out" (Sim.trace sim))
@@ -248,7 +249,7 @@ let probe_payload_len profile =
     List.find (fun e -> Vtime.equal e.Trace.time probe_time) outs
   in
   (* detail ends with "len=N" *)
-  let detail = probe_out.Trace.detail in
+  let detail = Trace.detail probe_out in
   let len_str =
     let i = String.rindex detail '=' in
     String.sub detail (i + 1) (String.length detail - i - 1)

@@ -181,6 +181,76 @@ let test_campaign_shape () =
        (function Generator.Inject_spurious (m, _) -> m.Spec.mtype = "ACK" | _ -> false)
        faults)
 
+(* the compile-once fix: planning a campaign parses each fault script
+   exactly once, and running a planned trial parses the (already
+   compiled) filter zero further times.  [Parser.parse_count] is the
+   process-wide counting hook; the nested-script parses an interpreter
+   performs during evaluation are excluded by using a bracket-free
+   filter for the run-side assertion. *)
+let test_campaign_parse_count () =
+  let before = Pfi_script.Parser.parse_count () in
+  let trials = Campaign.plan ~spec:Spec.abp ~target:"bob" () in
+  let after_plan = Pfi_script.Parser.parse_count () in
+  let faults = List.length (Generator.campaign ~target:"bob" Spec.abp) in
+  Alcotest.(check int) "plan parses each fault script once (not once per trial)"
+    faults (after_plan - before);
+  Alcotest.(check bool) "plan has more trials than faults" true
+    (List.length trials > faults);
+  (* a planned trial's script arrives compiled: no re-parse at install *)
+  let (module H : Harness_intf.HARNESS) =
+    Option.get (Registry.find "abp")
+  in
+  (* bracket-free no-op filter: evaluation parses no nested scripts *)
+  let compiled = Pfi_script.Interp.compile "set unused 1" in
+  let before_run = Pfi_script.Parser.parse_count () in
+  let outcome =
+    Campaign.run_trial
+      (module H : Harness_intf.HARNESS)
+      ~side:Campaign.Send_filter ~horizon:(Vtime.sec 30) ~seed:7L ~compiled
+      (Generator.Drop_all "MSG")
+  in
+  Alcotest.(check int) "running a precompiled trial parses nothing" 0
+    (Pfi_script.Parser.parse_count () - before_run);
+  Alcotest.(check bool) "trial produced a verdict" true
+    (match outcome.Campaign.verdict with
+     | Campaign.Tolerated | Campaign.Violation _ -> true)
+
+(* regression: TCP's hyphenated "SYN-ACK" message type used to produce
+   scripts where [$d_SYN-ACK] parsed as the variable [d_SYN] — every
+   trial (and even the fault-free control) died with a script error.
+   The generator now sanitises variable names; the whole campaign must
+   run to verdicts. *)
+let test_tcp_campaign_hyphenated_mtype () =
+  let (module H : Harness_intf.HARNESS) =
+    Option.get (Registry.find "tcp")
+  in
+  let outcomes = Campaign.run (module H : Harness_intf.HARNESS) () in
+  Alcotest.(check int) "all tcp trials ran" 120 (List.length outcomes);
+  Alcotest.(check bool) "campaign exercises SYN-ACK faults" true
+    (List.exists
+       (fun o ->
+         match o.Campaign.fault with
+         | Generator.Drop_after (m, _) | Generator.Drop_first (m, _) ->
+           String.equal m "SYN-ACK"
+         | _ -> false)
+       outcomes);
+  List.iter
+    (fun o ->
+      match o.Campaign.verdict with
+      | Campaign.Violation reason ->
+        Alcotest.(check bool)
+          (Printf.sprintf "no script errors in verdicts (%s)" reason)
+          false
+          (let needle = "script error" in
+           let n = String.length needle and nr = String.length reason in
+           let rec scan i =
+             i + n <= nr
+             && (String.equal (String.sub reason i n) needle || scan (i + 1))
+           in
+           scan 0)
+      | Campaign.Tolerated -> ())
+    outcomes
+
 let test_spec_lookup () =
   Alcotest.(check (list string)) "abp vocabulary" [ "MSG"; "ACK" ]
     (Spec.message_types Spec.abp);
@@ -253,6 +323,10 @@ let suite =
     Alcotest.test_case "gmp scripts install on fresh pfi layer" `Quick
       test_gmp_scripts_install;
     Alcotest.test_case "campaign shape" `Quick test_campaign_shape;
+    Alcotest.test_case "campaign compiles each fault script once" `Quick
+      test_campaign_parse_count;
+    Alcotest.test_case "tcp campaign survives hyphenated message types" `Slow
+      test_tcp_campaign_hyphenated_mtype;
     Alcotest.test_case "spec lookup" `Quick test_spec_lookup;
     Alcotest.test_case "campaign: correct ABP tolerates all" `Slow
       test_campaign_correct_abp_tolerates_everything;
