@@ -8,7 +8,7 @@
      bench/main.exe micro        only the micro-benchmarks
      bench/main.exe tables       all tables/figures, no micro-benchmarks
      bench/main.exe scaling      campaign trials/sec at --jobs 1/2/4/8
-     bench/main.exe macro [OUT [SCENARIOS]]
+     bench/main.exe macro [OUT [SCENARIOS [MATRIX]]]
                                  engine macro-benchmark: every stock
                                  campaign at --jobs 1/2/4/8 plus the
                                  .pfis corpus; writes BENCH_engine.json
@@ -325,7 +325,12 @@ let run_macro args =
     | _ :: d :: _ -> d
     | _ -> "test/scenarios"  (* the corpus, when run from the repo root *)
   in
-  let bench = Engine_bench.run ~scenario_dir () in
+  let matrix_spec =
+    match args with
+    | _ :: _ :: m :: _ -> m
+    | _ -> "test/matrix/registry_demo.pfim"
+  in
+  let bench = Engine_bench.run ~scenario_dir ~matrix_spec () in
   Engine_bench.pp_summary Format.std_formatter bench;
   Format.pp_print_flush Format.std_formatter ();
   let oc = open_out out in

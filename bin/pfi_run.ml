@@ -13,7 +13,11 @@
    - `pfi-run replay <file>`       deterministically re-execute an artifact
    - `pfi-run check <file>...`     run *.pfis scenario conformance scripts
                                    (--jobs N runs scenarios on N domains;
-                                   output is byte-identical for any N)
+                                   output is byte-identical for any N);
+                                   --manifest runs a generated corpus and
+                                   diffs outcomes against its manifest
+   - `pfi-run gen <spec> -o DIR`   expand a *.pfim scenario-matrix spec
+                                   into a .pfis corpus + JSON manifest
    - `pfi-run help [<cmd>]`        the normalized option table
 
    Every subcommand draws its flags from one option-spec table (Copts
@@ -76,12 +80,32 @@ module Copts = struct
   let output =
     { flag = "output";
       docv = "OUT";
-      doc = "Where to write the minimized artifact." }
+      doc =
+        "Output path: the minimized artifact for $(b,shrink), the corpus \
+         directory for $(b,gen)." }
 
   let max_trials =
     { flag = "max-trials";
       docv = "N";
       doc = "Re-run budget for the minimizer (default 1000)." }
+
+  let limit =
+    { flag = "limit";
+      docv = "N";
+      doc =
+        "Keep only the first $(docv) scenarios of the expansion — a prefix \
+         of the full corpus, so a limited run is a cheap smoke test of the \
+         same matrix." }
+
+  let manifest =
+    { flag = "manifest";
+      docv = "FILE";
+      doc =
+        "Run the generated corpus recorded in $(docv) (written by \
+         $(b,gen)): verify the corpus digest, execute every scenario in \
+         manifest order, and diff each outcome against its recorded \
+         expected verdict.  Mutually exclusive with positional files; exit \
+         1 on any mismatch." }
 
   (* which subcommand carries which options — the single source the
      Cmdliner terms and `pfi_run help <cmd>` are both generated from *)
@@ -102,7 +126,11 @@ module Copts = struct
        [ seed; trace_out; json ]);
       ("check", "FILE...",
        "Run packetdrill-style scenario conformance scripts (*.pfis).",
-       [ seed; trace_out; json; jobs ]) ]
+       [ seed; trace_out; json; jobs; manifest ]);
+      ("gen", "SPEC",
+       "Expand a *.pfim scenario-matrix spec into a .pfis corpus with a \
+        JSON manifest.",
+       [ output; json; limit ]) ]
 
   (* Cmdliner terms, generated from the specs *)
   let flag_term spec = Arg.(value & flag & info [ spec.flag ] ~doc:spec.doc)
@@ -129,6 +157,8 @@ module Copts = struct
       & info [ max_trials.flag ] ~docv:max_trials.docv ~doc:max_trials.doc)
   let jobs_term =
     Arg.(value & opt int 1 & info [ jobs.flag ] ~docv:jobs.docv ~doc:jobs.doc)
+  let limit_term = opt_term Arg.int limit
+  let manifest_term = opt_term Arg.string manifest
 end
 
 (* `pfi_run help [CMD]`: print the normalized option table *)
@@ -832,24 +862,57 @@ let print_scenario_result file (r : Pfi_testgen.Scenario.result) =
           row.Scenario.row_desc row.Scenario.row_reason)
     r.Scenario.res_rows
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* load + run every scenario file through Executor.of_jobs; results come
+   back in input order, so everything printed from them is byte-identical
+   for any worker count *)
+let run_scenario_files ~executor ~capture ?seed files =
+  let open Pfi_testgen in
+  Executor.map executor
+    (fun file ->
+      match Scenario.load file with
+      | sc -> Ok (Scenario.run ?seed ~capture_trace:capture sc)
+      | exception Scenario.Parse_error e ->
+        Error (Scenario.error_message ~file e)
+      | exception Sys_error m -> Error m)
+    files
+
+let dump_scenario_traces trace_out results =
+  match trace_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_trace_out path in
+    List.iteri
+      (fun i res ->
+        match res with
+        | Ok ({ Pfi_testgen.Scenario.res_trace = Some trace; _ } as r) ->
+          Pfi_engine.Trace.output_jsonl
+            ~extra:
+              [ ("scenario", r.Pfi_testgen.Scenario.res_scenario);
+                ("sim", string_of_int i) ]
+            oc trace
+        | _ -> ())
+      results;
+    close_out oc
+
 (* scenarios are independent, so they run through Executor.of_jobs like
    campaign trials; results print in input order, so stdout (ASCII or
    JSON) is byte-identical for any worker count *)
-let check files trace_out seed jobs json =
+let check_files files trace_out seed jobs json =
   let open Pfi_testgen in
   let executor = Executor.of_jobs jobs in
-  let capture = trace_out <> None in
   let results =
-    Executor.map executor
-      (fun file ->
-        match Scenario.load file with
-        | sc -> Ok (Scenario.run ?seed ~capture_trace:capture sc)
-        | exception Scenario.Parse_error e ->
-          Error (Scenario.error_message ~file e)
-        | exception Sys_error m -> Error m)
-      files
+    run_scenario_files ~executor ~capture:(trace_out <> None) ?seed files
   in
   let failed = ref 0 and xfailed = ref 0 in
+  (* a corpus must not shadow a scenario: two files carrying the same
+     scenario name is an error even when both pass *)
+  let names = Hashtbl.create 16 in
   List.iter2
     (fun file res ->
       match res with
@@ -860,10 +923,28 @@ let check files trace_out seed jobs json =
             (Repro.Json.Obj [ ("file", json_str file); ("error", json_str msg) ])
         else Printf.printf "%s: PARSE ERROR\n  %s\n" file msg
       | Ok r ->
-        if not (Scenario.passed r) then incr failed;
+        let dup = Hashtbl.find_opt names r.Scenario.res_scenario in
+        if dup = None then Hashtbl.add names r.Scenario.res_scenario file;
+        if dup <> None || not (Scenario.passed r) then incr failed;
         if r.Scenario.res_outcome = Scenario.Xfail then incr xfailed;
         if json then json_print (scenario_result_json file r)
-        else print_scenario_result file r)
+        else print_scenario_result file r;
+        (match dup with
+         | None -> ()
+         | Some prior ->
+           if json then
+             json_print
+               (Repro.Json.Obj
+                  [ ("file", json_str file);
+                    ("error",
+                     json_str
+                       (Printf.sprintf
+                          "duplicate scenario name %S (already used by %s)"
+                          r.Scenario.res_scenario prior)) ])
+           else
+             Printf.printf
+               "%s: DUPLICATE scenario name %S (already used by %s)\n" file
+               r.Scenario.res_scenario prior))
     files results;
   if json then
     json_print
@@ -876,24 +957,127 @@ let check files trace_out seed jobs json =
       (List.length files)
       (List.length files - !failed)
       !failed !xfailed;
-  (match trace_out with
-   | None -> ()
-   | Some path ->
-     let oc = open_trace_out path in
-     List.iteri
-       (fun i res ->
-         match res with
-         | Ok
-             ({ Scenario.res_trace = Some trace; _ } as r) ->
-           Pfi_engine.Trace.output_jsonl
-             ~extra:
-               [ ("scenario", r.Scenario.res_scenario);
-                 ("sim", string_of_int i) ]
-             oc trace
-         | _ -> ())
-       results;
-     close_out oc);
+  dump_scenario_traces trace_out results;
   if !failed > 0 then exit 1
+
+(* run a generated corpus against its manifest: verify the corpus bytes
+   first (the digest pins them), then require every scenario to land on
+   its recorded expected verdict *)
+let check_manifest mpath trace_out seed jobs json =
+  let open Pfi_testgen in
+  let mf =
+    match Matrix.load_manifest mpath with
+    | Ok mf -> mf
+    | Error msg ->
+      Printf.eprintf "cannot load manifest %s: %s\n" mpath msg;
+      exit 1
+  in
+  let dir = Filename.dirname mpath in
+  let digest =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (me : Matrix.manifest_entry) ->
+        Buffer.add_string buf me.Matrix.me_file;
+        Buffer.add_char buf '\n';
+        match read_file (Filename.concat dir me.Matrix.me_file) with
+        | text -> Buffer.add_string buf text
+        | exception Sys_error m ->
+          Printf.eprintf "cannot read corpus file: %s\n" m;
+          exit 1)
+      mf.Matrix.mf_entries;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  if digest <> mf.Matrix.mf_corpus_digest then begin
+    if json then
+      json_print
+        (Repro.Json.Obj
+           [ ("manifest", json_str mpath);
+             ("error", json_str "corpus digest mismatch");
+             ("recorded", json_str mf.Matrix.mf_corpus_digest);
+             ("observed", json_str digest) ])
+    else
+      Printf.printf
+        "%s: CORPUS DIGEST MISMATCH\n  recorded %s\n  observed %s\n  (the \
+         .pfis files changed since `pfi_run gen` wrote them)\n"
+        mpath mf.Matrix.mf_corpus_digest digest;
+    exit 1
+  end;
+  let files =
+    List.map
+      (fun (me : Matrix.manifest_entry) -> Filename.concat dir me.Matrix.me_file)
+      mf.Matrix.mf_entries
+  in
+  let executor = Executor.of_jobs jobs in
+  let results =
+    run_scenario_files ~executor ~capture:(trace_out <> None) ?seed files
+  in
+  let failed = ref 0 and xfailed = ref 0 and mismatched = ref 0 in
+  List.iter2
+    (fun ((me : Matrix.manifest_entry), file) res ->
+      match res with
+      | Error msg ->
+        incr failed;
+        incr mismatched;
+        if json then
+          json_print
+            (Repro.Json.Obj [ ("file", json_str file); ("error", json_str msg) ])
+        else Printf.printf "%s: PARSE ERROR\n  %s\n" file msg
+      | Ok r ->
+        let outcome = Scenario.outcome_name r.Scenario.res_outcome in
+        let matched = outcome = me.Matrix.me_expected in
+        if not (Scenario.passed r) then incr failed;
+        if r.Scenario.res_outcome = Scenario.Xfail then incr xfailed;
+        if not matched then incr mismatched;
+        if json then begin
+          match scenario_result_json file r with
+          | Repro.Json.Obj fields ->
+            json_print
+              (Repro.Json.Obj
+                 (fields
+                 @ [ ("expected", json_str me.Matrix.me_expected);
+                     ("matched", Repro.Json.Bool matched) ]))
+          | other -> json_print other
+        end
+        else begin
+          print_scenario_result file r;
+          if not matched then
+            Printf.printf "  MISMATCH: manifest expects %s, got %s\n"
+              me.Matrix.me_expected outcome
+        end)
+    (List.combine mf.Matrix.mf_entries files)
+    results;
+  if json then
+    json_print
+      (Repro.Json.Obj
+         [ ("manifest", json_str mpath);
+           ("matrix", json_str mf.Matrix.mf_matrix);
+           ("scenarios", Repro.Json.Int (List.length files));
+           ("failed", Repro.Json.Int !failed);
+           ("xfailed", Repro.Json.Int !xfailed);
+           ("mismatches", Repro.Json.Int !mismatched);
+           ("corpus_digest", json_str digest) ])
+  else
+    Printf.printf
+      "-- corpus %s: %d scenarios: %d passed, %d failed (%d expected \
+       failures), %d manifest mismatches\n"
+      mf.Matrix.mf_matrix (List.length files)
+      (List.length files - !failed)
+      !failed !xfailed !mismatched;
+  dump_scenario_traces trace_out results;
+  if !failed > 0 || !mismatched > 0 then exit 1
+
+let check files trace_out seed jobs json manifest =
+  match (manifest, files) with
+  | Some _, _ :: _ ->
+    Printf.eprintf
+      "check: --manifest and positional scenario files are mutually \
+       exclusive\n";
+    exit 2
+  | Some mpath, [] -> check_manifest mpath trace_out seed jobs json
+  | None, [] ->
+    Printf.eprintf "check: no scenario files (give FILE... or --manifest)\n";
+    exit 2
+  | None, files -> check_files files trace_out seed jobs json
 
 let check_cmd =
   let doc =
@@ -901,15 +1085,97 @@ let check_cmd =
      named harness, install the scripted faults and injections, run to the \
      horizon and judge the trace against every $(b,expect) oracle.  Exit 1 \
      if any scenario fails.  With $(b,--jobs) N independent scenarios \
-     execute on N domains with byte-identical output."
+     execute on N domains with byte-identical output; with $(b,--manifest) \
+     the corpus recorded by $(b,gen) is verified and every outcome diffed \
+     against its expected verdict."
   in
   let files =
-    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE")
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const check $ files $ Copts.trace_out_term $ Copts.seed_term
-      $ Copts.jobs_term $ Copts.json_term)
+      $ Copts.jobs_term $ Copts.json_term $ Copts.manifest_term)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario-matrix generation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen spec_path out json limit =
+  let open Pfi_testgen in
+  let out =
+    match out with
+    | Some dir -> dir
+    | None ->
+      Printf.eprintf "gen: no output directory (give -o DIR)\n";
+      exit 2
+  in
+  let src =
+    try read_file spec_path
+    with Sys_error m ->
+      Printf.eprintf "cannot read matrix spec: %s\n" m;
+      exit 1
+  in
+  let entries =
+    try Matrix.expand ?limit (Matrix.parse src)
+    with Scenario.Parse_error e ->
+      Printf.eprintf "%s\n" (Scenario.error_message ~file:spec_path e);
+      exit 1
+  in
+  let m =
+    (* re-parse is cheap and keeps [entries] the single expansion *)
+    Matrix.parse src
+  in
+  mkdir_p out;
+  List.iter
+    (fun (e : Matrix.entry) ->
+      let oc = open_out_bin (Filename.concat out e.Matrix.e_file) in
+      output_string oc e.Matrix.e_text;
+      close_out oc)
+    entries;
+  let manifest =
+    Matrix.manifest_json
+      ~spec_file:(Filename.basename spec_path)
+      ~spec_digest:(Digest.to_hex (Digest.string src))
+      m entries
+  in
+  let moc = open_out_bin (Filename.concat out "manifest.json") in
+  output_string moc (Repro.Json.to_string manifest ^ "\n");
+  close_out moc;
+  let count p =
+    List.length
+      (List.filter (fun (e : Matrix.entry) -> e.Matrix.e_expected = p) entries)
+  in
+  if json then
+    json_print
+      (Repro.Json.Obj
+         [ ("spec", json_str spec_path);
+           ("matrix", json_str m.Matrix.m_name);
+           ("out", json_str out);
+           ("count", Repro.Json.Int (List.length entries));
+           ("pass", Repro.Json.Int (count "pass"));
+           ("xfail", Repro.Json.Int (count "xfail"));
+           ("corpus_digest", json_str (Matrix.corpus_digest entries)) ])
+  else
+    Printf.printf
+      "generated %d scenarios (%d pass, %d xfail) from %s into %s\n\
+      \  corpus digest %s\n"
+      (List.length entries) (count "pass") (count "xfail") spec_path out
+      (Matrix.corpus_digest entries)
+
+let gen_cmd =
+  let doc =
+    "Expand a *.pfim scenario-matrix spec (harness set × side × fault axis \
+     × parameter sweeps) into a corpus of canonical *.pfis scenarios plus \
+     a JSON manifest recording each scenario's seed and expected verdict.  \
+     Generation is deterministic: the same spec yields byte-identical \
+     files and manifest on every run."
+  in
+  let spec = Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC") in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(
+      const gen $ spec $ Copts.output_term $ Copts.json_term
+      $ Copts.limit_term)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -923,4 +1189,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; repl_cmd; msc_cmd; campaign_cmd; shrink_cmd;
-            replay_cmd; check_cmd; help_cmd ]))
+            replay_cmd; check_cmd; gen_cmd; help_cmd ]))

@@ -16,10 +16,18 @@ type scenario_bench = {
   sb_wall : float;
 }
 
+type gen_bench = {
+  gb_matrix : string;
+  gb_count : int;
+  gb_corpus_digest : string;
+  gb_wall : float;
+}
+
 type t = {
   b_jobs : int list;
   b_campaigns : campaign_bench list;
   b_scenarios : scenario_bench option;
+  b_gen : gen_bench option;
 }
 
 let default_jobs = [ 1; 2; 4; 8 ]
@@ -108,12 +116,29 @@ let bench_scenarios dir =
     end
   end
 
-let run ?(jobs = default_jobs) ?harnesses ?scenario_dir () =
+(* matrix expansion is pure CPU work (parse, sweep, render, re-parse);
+   the wall figure is the scenarios/sec denominator *)
+let bench_gen spec =
+  if not (Sys.file_exists spec) then None
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let m = Matrix.load spec in
+    let entries = Matrix.expand m in
+    let dt = Unix.gettimeofday () -. t0 in
+    Some
+      { gb_matrix = m.Matrix.m_name;
+        gb_count = List.length entries;
+        gb_corpus_digest = Matrix.corpus_digest entries;
+        gb_wall = dt }
+  end
+
+let run ?(jobs = default_jobs) ?harnesses ?scenario_dir ?matrix_spec () =
   let jobs = if List.mem 1 jobs then jobs else 1 :: jobs in
   let harnesses = Option.value harnesses ~default:Registry.names in
   { b_jobs = jobs;
     b_campaigns = List.map (bench_campaign ~jobs) harnesses;
-    b_scenarios = Option.bind scenario_dir bench_scenarios }
+    b_scenarios = Option.bind scenario_dir bench_scenarios;
+    b_gen = Option.bind matrix_spec bench_gen }
 
 (* ------------------------------------------------------------------ *)
 (* Serialisation                                                      *)
@@ -209,6 +234,23 @@ let to_json ?(include_timing = true) t =
                 if include_timing then
                   [ ("wall_s", Repro.Json.Float sb.sb_wall) ]
                 else [])) ])
+     @ (match t.b_gen with
+        | None -> []
+        | Some gb ->
+          [ ("gen",
+             Repro.Json.Obj
+               ([ ("matrix", Repro.Json.Str gb.gb_matrix);
+                  ("count", Repro.Json.Int gb.gb_count);
+                  ("corpus_digest", Repro.Json.Str gb.gb_corpus_digest) ]
+                @
+                if include_timing then
+                  [ ("wall_s", Repro.Json.Float gb.gb_wall);
+                    ("scenarios_per_sec",
+                     Repro.Json.Float
+                       (if gb.gb_wall > 0. then
+                          float_of_int gb.gb_count /. gb.gb_wall
+                        else 0.)) ]
+                else [])) ])
      @ [ ("totals", totals) ])
 
 let to_string ?include_timing t =
@@ -237,6 +279,13 @@ let pp_summary ppf t =
    | Some sb ->
      Format.fprintf ppf "scenarios: %d/%d passed in %.2fs@." sb.sb_passed
        sb.sb_count sb.sb_wall);
+  (match t.b_gen with
+   | None -> ()
+   | Some gb ->
+     Format.fprintf ppf "gen: %d scenarios from %s in %.3fs (%.0f/sec)@."
+       gb.gb_count gb.gb_matrix gb.gb_wall
+       (if gb.gb_wall > 0. then float_of_int gb.gb_count /. gb.gb_wall
+        else 0.));
   let trials = List.fold_left (fun a c -> a + c.cb_trials) 0 t.b_campaigns in
   let events = List.fold_left (fun a c -> a + c.cb_sim_events) 0 t.b_campaigns in
   List.iter

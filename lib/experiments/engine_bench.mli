@@ -38,21 +38,35 @@ type scenario_bench = {
   sb_wall : float;
 }
 
+type gen_bench = {
+  gb_matrix : string;  (** the spec's [matrix] name *)
+  gb_count : int;  (** scenarios expanded *)
+  gb_corpus_digest : string;
+      (** {!Pfi_testgen.Matrix.corpus_digest} — generation is
+          deterministic, so this is identical across runs *)
+  gb_wall : float;  (** parse + expand + render, seconds *)
+}
+
 type t = {
   b_jobs : int list;
   b_campaigns : campaign_bench list;
   b_scenarios : scenario_bench option;  (** [None] when no corpus dir *)
+  b_gen : gen_bench option;  (** [None] when no matrix spec *)
 }
 
 val run :
   ?jobs:int list ->
   ?harnesses:string list ->
   ?scenario_dir:string ->
+  ?matrix_spec:string ->
   unit -> t
 (** Runs the macro benchmark.  [jobs] defaults to [[1; 2; 4; 8]];
     [harnesses] to every {!Pfi_testgen.Registry} entry; [scenario_dir]
-    names a directory of [*.pfis] files (skipped when absent).  Raises
-    [Failure] if any campaign summary differs between widths. *)
+    names a directory of [*.pfis] files (skipped when absent);
+    [matrix_spec] a [*.pfim] matrix whose expansion is timed (skipped
+    when absent), so corpus generation throughput (scenarios/sec) is
+    tracked alongside engine throughput.  Raises [Failure] if any
+    campaign summary differs between widths. *)
 
 val to_json : ?include_timing:bool -> t -> Pfi_testgen.Repro.Json.t
 (** The [BENCH_engine.json] document.  [include_timing] (default

@@ -2,6 +2,7 @@ type fault =
   | Drop_all of string
   | Drop_after of string * int
   | Drop_first of string * int
+  | Drop_nth of string * int
   | Drop_fraction of string * float
   | Omission_all of float
   | Byzantine_mix of float
@@ -15,6 +16,7 @@ let describe = function
   | Drop_all t -> Printf.sprintf "drop all %s" t
   | Drop_after (t, n) -> Printf.sprintf "drop %s after %d" t n
   | Drop_first (t, n) -> Printf.sprintf "drop the first %d %s" n t
+  | Drop_nth (t, n) -> Printf.sprintf "drop every %dth %s" n t
   | Drop_fraction (t, p) -> Printf.sprintf "drop %s with p=%.2f" t p
   | Omission_all p -> Printf.sprintf "general omission p=%.2f (all types)" p
   | Byzantine_mix p ->
@@ -33,6 +35,7 @@ let canonical = function
   | Drop_all t -> Printf.sprintf "drop_all/%s" t
   | Drop_after (t, n) -> Printf.sprintf "drop_after/%s/%d" t n
   | Drop_first (t, n) -> Printf.sprintf "drop_first/%s/%d" t n
+  | Drop_nth (t, n) -> Printf.sprintf "drop_nth/%s/%d" t n
   | Drop_fraction (t, p) -> Printf.sprintf "drop_fraction/%s/%h" t p
   | Omission_all p -> Printf.sprintf "omission_all/%h" p
   | Byzantine_mix p -> Printf.sprintf "byzantine_mix/%h" p
@@ -148,6 +151,19 @@ if {[msg_type cur_msg] == "%s"} {
   }
 }
 |} n mtype mtype v v v n v
+  | Drop_nth (mtype, n) ->
+    let v = tcl_name mtype in
+    Printf.sprintf {|
+# generated: periodic loss, every %dth %s frame is dropped
+if {[msg_type cur_msg] == "%s"} {
+  if {![info exists k_%s]} { set k_%s 0 }
+  incr k_%s
+  if {$k_%s %% %d == 0} {
+    msg_log cur_msg testgen.fault
+    xDrop cur_msg
+  }
+}
+|} n mtype mtype v v v v n
   | Omission_all p ->
     Printf.sprintf {|
 # generated: general omission across all message types

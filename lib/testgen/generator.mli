@@ -10,6 +10,11 @@ type fault =
   | Drop_all of string  (** drop every message of the type (link crash) *)
   | Drop_after of string * int  (** let [n] through, then drop *)
   | Drop_first of string * int  (** transient outage: lose the first [n] *)
+  | Drop_nth of string * int
+      (** periodic loss: every [n]th message of the type is dropped
+          ([n = 1] drops them all).  Not part of the stock {!campaign}
+          set — it exists for generated scenario matrices, so adding it
+          never changed any stock campaign's verdicts or seeds. *)
   | Drop_fraction of string * float  (** probabilistic omission *)
   | Omission_all of float  (** general omission across all types *)
   | Byzantine_mix of float

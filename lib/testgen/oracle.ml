@@ -22,14 +22,45 @@ let contains_sub s sub =
     at 0
   end
 
+(* A '*' anywhere in a pattern value turns that value into a glob over
+   the whole entry value (each '*' matches any, possibly empty, run of
+   characters).  Values without one keep their original semantics:
+   exact equality for node/tag/fields, substring for detail. *)
+let has_wildcard s = String.contains s '*'
+
+let glob_match pat s =
+  let np = String.length pat and ns = String.length s in
+  let rec go i j =
+    if i = np then j = ns
+    else
+      match pat.[i] with
+      | '*' ->
+        let rec from k = k <= ns && (go (i + 1) k || from (k + 1)) in
+        from j
+      | c -> j < ns && Char.equal s.[j] c && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let value_matches ~exact pat v =
+  if has_wildcard pat then glob_match pat v
+  else if exact then String.equal pat v
+  else contains_sub v pat
+
 let pattern_matches p (e : Trace.entry) =
-  (match p.p_node with Some n -> e.Trace.node = n | None -> true)
-  && (match p.p_tag with Some g -> e.Trace.tag = g | None -> true)
+  (match p.p_node with
+   | Some n -> value_matches ~exact:true n e.Trace.node
+   | None -> true)
+  && (match p.p_tag with
+      | Some g -> value_matches ~exact:true g e.Trace.tag
+      | None -> true)
   && (match p.p_detail with
-      | Some d -> contains_sub (Trace.detail e) d
+      | Some d -> value_matches ~exact:false d (Trace.detail e)
       | None -> true)
   && List.for_all
-       (fun (k, v) -> List.assoc_opt k e.Trace.fields = Some v)
+       (fun (k, v) ->
+         match List.assoc_opt k e.Trace.fields with
+         | Some actual -> value_matches ~exact:true v actual
+         | None -> false)
        p.p_fields
 
 let pattern_describe p =
@@ -112,10 +143,15 @@ let entry_cite i (e : Trace.entry) =
     e.Trace.node e.Trace.tag (Trace.detail e)
 
 (* every (index, entry) matching [p], using the (node, tag) indexes when
-   the pattern constrains them *)
+   the pattern constrains them exactly — a wildcarded node or tag can't
+   use the exact-match index and falls back to the full scan *)
 let matches_of p trace =
+  let indexable = function
+    | Some v when not (has_wildcard v) -> Some v
+    | _ -> None
+  in
   let acc = ref [] in
-  Trace.iteri ?node:p.p_node ?tag:p.p_tag
+  Trace.iteri ?node:(indexable p.p_node) ?tag:(indexable p.p_tag)
     (fun i e -> if pattern_matches p e then acc := (i, e) :: !acc)
     trace;
   List.rev !acc

@@ -30,7 +30,14 @@ val pattern :
   unit ->
   pattern
 (** [detail] matches as a substring of the entry's detail string;
-    [fields] must each be present with the exact value. *)
+    [fields] must each be present with the exact value.
+
+    Any value containing ['*'] is instead treated as a glob over the
+    whole entry value — each ['*'] matches any (possibly empty) run of
+    characters — so [~tag:"abp.*"] matches every abp event and
+    [~detail:"msg-*-final"]-style anchored shapes are expressible.
+    A wildcarded [detail] globs the {e full} detail string (wrap it in
+    ['*']s to keep substring behaviour). *)
 
 val pattern_matches : pattern -> Trace.entry -> bool
 

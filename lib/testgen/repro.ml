@@ -245,6 +245,8 @@ let fault_to_json (fault : Generator.fault) : Json.t =
     Obj [ ("kind", Str "drop_after"); ("mtype", Str t); ("n", Int n) ]
   | Generator.Drop_first (t, n) ->
     Obj [ ("kind", Str "drop_first"); ("mtype", Str t); ("n", Int n) ]
+  | Generator.Drop_nth (t, n) ->
+    Obj [ ("kind", Str "drop_nth"); ("mtype", Str t); ("n", Int n) ]
   | Generator.Drop_fraction (t, p) ->
     Obj [ ("kind", Str "drop_fraction"); ("mtype", Str t); ("p", Float p) ]
   | Generator.Omission_all p -> Obj [ ("kind", Str "omission_all"); ("p", Float p) ]
@@ -287,6 +289,10 @@ let fault_of_json (j : Json.t) : (Generator.fault, string) result =
     let* t = need "mtype" (str "mtype") in
     let* n = need "n" (int "n") in
     Ok (Generator.Drop_first (t, n))
+  | "drop_nth" ->
+    let* t = need "mtype" (str "mtype") in
+    let* n = need "n" (int "n") in
+    Ok (Generator.Drop_nth (t, n))
   | "drop_fraction" ->
     let* t = need "mtype" (str "mtype") in
     let* p = need "p" (flt "p") in

@@ -177,6 +177,12 @@ let parse_fault ~line ~spec toks =
     check_mtype ~line ~spec t;
     Generator.Drop_first (t, parse_int ~line n)
   | "drop_first" :: _ -> usage "drop_first" "drop_first TYPE N"
+  | [ "drop_nth"; t; n ] ->
+    check_mtype ~line ~spec t;
+    let k = parse_int ~line n in
+    if k < 1 then err line n "drop_nth period must be at least 1";
+    Generator.Drop_nth (t, k)
+  | "drop_nth" :: _ -> usage "drop_nth" "drop_nth TYPE N"
   | [ "drop_fraction"; t; p ] ->
     check_mtype ~line ~spec t;
     Generator.Drop_fraction (t, parse_float ~line p)
@@ -208,9 +214,25 @@ let parse_fault ~line ~spec toks =
   | kind :: _ ->
     err line kind
       "unknown fault kind (expected drop_all, drop_after, drop_first, \
-       drop_fraction, omission_all, byzantine_mix, delay_each, duplicate, \
-       corrupt, reorder or inject_spurious)"
+       drop_nth, drop_fraction, omission_all, byzantine_mix, delay_each, \
+       duplicate, corrupt, reorder or inject_spurious)"
   | [] -> err line "fault" "missing fault specification"
+
+(* [fault S A + B + C] is sugar for three fault directives on side [S]:
+   split the token list on standalone "+" tokens *)
+let split_on_plus ~line toks =
+  let rec go current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | "+" :: rest ->
+      if current = [] then
+        err line "+" "empty fault before '+' in a multi-fault sequence";
+      go [] (List.rev current :: acc) rest
+    | tok :: rest -> go (tok :: current) acc rest
+  in
+  match go [] [] toks with
+  | groups when List.exists (( = ) []) groups ->
+    err line "+" "empty fault in a multi-fault sequence"
+  | groups -> groups
 
 (* ------------------------------------------------------------------ *)
 (* Expectations                                                       *)
@@ -281,6 +303,9 @@ let parse ?(name = "scenario") src =
   let harness = ref None (* (name, packed) *) in
   let seed = ref None and horizon = ref None and xfail = ref None in
   let faults = ref [] and injections = ref [] and checks = ref [] in
+  (* the relative-time clock: [@+DUR] means DUR after the previous
+     [@]-prefixed directive's time (zero before any) *)
+  let clock = ref Vtime.zero in
   let need_harness line tok =
     match !harness with
     | Some (hname, packed) -> (hname, packed)
@@ -297,7 +322,15 @@ let parse ?(name = "scenario") src =
     | first :: rest ->
       let at, keyword, rest =
         if String.length first > 0 && first.[0] = '@' then begin
-          let t = parse_duration ~line (String.sub first 1 (String.length first - 1)) in
+          let body = String.sub first 1 (String.length first - 1) in
+          let t =
+            if String.length body > 0 && body.[0] = '+' then
+              Vtime.add !clock
+                (parse_duration ~line
+                   (String.sub body 1 (String.length body - 1)))
+            else parse_duration ~line body
+          in
+          clock := t;
           match rest with
           | kw :: rest' -> (Some t, kw, rest')
           | [] -> err line first "directive expected after @TIME"
@@ -353,7 +386,12 @@ let parse ?(name = "scenario") src =
            | "both" :: r -> (Campaign.Both_filters, r)
            | r -> (Campaign.Both_filters, r)
          in
-         faults := (side, parse_fault ~line ~spec ftoks) :: !faults
+         let groups =
+           if List.mem "+" ftoks then split_on_plus ~line ftoks else [ ftoks ]
+         in
+         List.iter
+           (fun g -> faults := (side, parse_fault ~line ~spec g) :: !faults)
+           groups
        | "inject" ->
          let at =
            match at with
@@ -416,7 +454,18 @@ let parse ?(name = "scenario") src =
               :: !injections
           | _ -> err line "inject" "usage: @TIME inject send|receive TYPE [k=v ...] [to NODE]")
        | "expect" ->
-         checks := { chk_line = line; chk_expect = parse_expect ~line ~at rest } :: !checks
+         let expect = parse_expect ~line ~at rest in
+         (match
+            List.find_opt (fun c -> c.chk_expect = expect) !checks
+          with
+          | Some prior ->
+            err line "expect"
+              (Printf.sprintf
+                 "duplicate expect directive (identical expectation at line \
+                  %d)"
+                 prior.chk_line)
+          | None -> ());
+         checks := { chk_line = line; chk_expect = expect } :: !checks
        | _ ->
          err line keyword
            "unknown directive (expected name, run, seed, horizon, fault, \
@@ -445,6 +494,217 @@ let load path =
       (fun () -> really_input_string ic (in_channel_length ic))
   in
   parse ~name:(Filename.basename path) src
+
+(* ------------------------------------------------------------------ *)
+(* Printing: the inverse of [parse]                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical duration rendering: the largest unit that divides the
+   microsecond count exactly, so the token re-parses to the same time. *)
+let duration_to_string t =
+  if Vtime.equal t Vtime.infinity then
+    invalid_arg "Scenario.duration_to_string: infinite duration";
+  if Vtime.(t < Vtime.zero) then
+    invalid_arg "Scenario.duration_to_string: negative duration";
+  let us = Int64.to_int (Vtime.to_us t) in
+  if us = 0 then "0s"
+  else if us mod 3_600_000_000 = 0 then string_of_int (us / 3_600_000_000) ^ "h"
+  else if us mod 60_000_000 = 0 then string_of_int (us / 60_000_000) ^ "m"
+  else if us mod 1_000_000 = 0 then string_of_int (us / 1_000_000) ^ "s"
+  else if us mod 1_000 = 0 then string_of_int (us / 1_000) ^ "ms"
+  else string_of_int us ^ "us"
+
+(* Shortest decimal that reads back to the exact float, falling back to
+   the hex-float form (%h) [float_of_string] also accepts. *)
+let float_to_string f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string_opt s = Some f then s else Printf.sprintf "%h" f
+
+(* a token the tokenizer will hand back unchanged *)
+let plain_token tok =
+  tok <> "" && tok <> ";" && tok <> "+"
+  && tok.[0] <> '@'
+  && String.for_all
+       (fun c ->
+         match c with ' ' | '\t' | '\n' | '\r' | '#' -> false | _ -> true)
+       tok
+
+let require_plain what tok =
+  if not (plain_token tok) then
+    invalid_arg
+      (Printf.sprintf "Scenario.to_string: %s %S is not a printable token"
+         what tok)
+
+(* words that survive the join-split round trip of [name]/[xfail] *)
+let require_plain_words what s =
+  let words = String.split_on_char ' ' s in
+  if words = [] || List.exists (fun w -> not (plain_token w)) words then
+    invalid_arg
+      (Printf.sprintf
+         "Scenario.to_string: %s %S does not tokenize back to itself" what s)
+
+let pattern_atoms ~what p =
+  match Oracle.pattern_describe p with
+  | "*" ->
+    invalid_arg
+      (Printf.sprintf
+         "Scenario.to_string: %s: an unconstrained pattern has no scenario \
+          syntax"
+         what)
+  | s ->
+    let atoms = String.split_on_char ' ' s in
+    List.iter (require_plain (what ^ " pattern atom")) atoms;
+    s
+
+let fault_tokens fault =
+  let f = float_to_string in
+  let nat what n =
+    if n < 0 then
+      invalid_arg
+        (Printf.sprintf "Scenario.to_string: negative %s count %d" what n);
+    string_of_int n
+  in
+  match fault with
+  | Generator.Drop_all t -> [ "drop_all"; t ]
+  | Generator.Drop_after (t, n) -> [ "drop_after"; t; nat "drop_after" n ]
+  | Generator.Drop_first (t, n) -> [ "drop_first"; t; nat "drop_first" n ]
+  | Generator.Drop_nth (t, n) ->
+    if n < 1 then
+      invalid_arg "Scenario.to_string: drop_nth period must be at least 1";
+    [ "drop_nth"; t; string_of_int n ]
+  | Generator.Drop_fraction (t, p) -> [ "drop_fraction"; t; f p ]
+  | Generator.Omission_all p -> [ "omission_all"; f p ]
+  | Generator.Byzantine_mix p -> [ "byzantine_mix"; f p ]
+  | Generator.Delay_each (t, s) -> [ "delay_each"; t; f s ]
+  | Generator.Duplicate t -> [ "duplicate"; t ]
+  | Generator.Corrupt (t, p) -> [ "corrupt"; t; f p ]
+  | Generator.Reorder t -> [ "reorder"; t ]
+  | Generator.Inject_spurious (m, dst) ->
+    [ "inject_spurious"; m.Spec.mtype; dst ]
+
+let check_to_line chk =
+  match chk.chk_expect with
+  | Service -> "expect service"
+  | Trace_oracle o ->
+    (match o with
+     | Oracle.Eventually p -> "expect " ^ pattern_atoms ~what:"expect" p
+     | Oracle.Never p -> "expect never " ^ pattern_atoms ~what:"never" p
+     | Oracle.Within (p, a, b) ->
+       let pat = pattern_atoms ~what:"expect" p in
+       if Vtime.equal b Vtime.infinity then
+         Printf.sprintf "@%s expect %s" (duration_to_string a) pat
+       else if Vtime.(b < a) then
+         invalid_arg "Scenario.to_string: Within window ends before it starts"
+       else if Vtime.equal a Vtime.zero then
+         Printf.sprintf "expect %s within %s" pat (duration_to_string b)
+       else
+         Printf.sprintf "@%s expect %s within %s" (duration_to_string a) pat
+           (duration_to_string (Vtime.sub b a))
+     | Oracle.Count (p, cmp, n) ->
+       if n < 0 then
+         invalid_arg "Scenario.to_string: negative count bound";
+       Printf.sprintf "expect count %s %s %d"
+         (pattern_atoms ~what:"count" p)
+         (Oracle.comparison_name cmp) n
+     | Oracle.Ordered ps ->
+       if ps = [] then
+         invalid_arg
+           "Scenario.to_string: an empty ordered() has no scenario syntax";
+       "expect ordered "
+       ^ String.concat " ; "
+           (List.map (pattern_atoms ~what:"ordered") ps)
+     | Oracle.All _ | Oracle.Any _ ->
+       invalid_arg "Scenario.to_string: all()/any() have no scenario syntax")
+
+let injection_to_line inj =
+  List.iter
+    (fun (k, v) ->
+      if k = "" then
+        invalid_arg "Scenario.to_string: empty injection argument key";
+      require_plain "injection argument" (k ^ "=" ^ v);
+      if String.contains k '=' then
+        invalid_arg
+          (Printf.sprintf
+             "Scenario.to_string: injection argument key %S contains '='" k))
+    inj.inj_args;
+  require_plain "injection mtype" inj.inj_mtype;
+  require_plain "injection destination" inj.inj_dst;
+  Printf.sprintf "@%s inject %s %s%s to %s"
+    (duration_to_string inj.inj_at)
+    (match inj.inj_side with `Send -> "send" | `Receive -> "receive")
+    inj.inj_mtype
+    (String.concat ""
+       (List.map (fun (k, v) -> " " ^ k ^ "=" ^ v) inj.inj_args))
+    inj.inj_dst
+
+let to_string sc =
+  let packed =
+    match Registry.find sc.sc_harness with
+    | Some p -> p
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Scenario.to_string: unknown harness %S" sc.sc_harness)
+  in
+  let spec = Harness_intf.spec packed in
+  require_plain_words "scenario name" sc.sc_name;
+  Option.iter (require_plain_words "xfail substring") sc.sc_xfail;
+  List.iter
+    (fun (_, fault) -> List.iter (require_plain "fault token") (fault_tokens fault))
+    sc.sc_faults;
+  (* an injection only re-parses to the same record if its argument list
+     starts with the spec's generation arguments, in spec order — which
+     is exactly what [parse] produces *)
+  List.iter
+    (fun inj ->
+      match Spec.find_message spec inj.inj_mtype with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Scenario.to_string: unknown message type %S"
+             inj.inj_mtype)
+      | Some m ->
+        let keys = List.map fst m.Spec.gen_args in
+        let rec prefix ks args =
+          match (ks, args) with
+          | [], _ -> true
+          | k :: ks', (k', _) :: args' -> k = k' && prefix ks' args'
+          | _ :: _, [] -> false
+        in
+        if not (prefix keys inj.inj_args) then
+          invalid_arg
+            (Printf.sprintf
+               "Scenario.to_string: injection arguments for %S must begin \
+                with the spec's generation arguments (%s)"
+               inj.inj_mtype (String.concat ", " keys)))
+    sc.sc_injections;
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "name %s" sc.sc_name;
+  line "run %s" sc.sc_harness;
+  Option.iter (fun s -> line "seed %Ld" s) sc.sc_seed;
+  Option.iter (fun h -> line "horizon %s" (duration_to_string h)) sc.sc_horizon;
+  List.iter
+    (fun (side, fault) ->
+      line "fault %s %s" (Campaign.side_name side)
+        (String.concat " " (fault_tokens fault)))
+    sc.sc_faults;
+  List.iter (fun inj -> line "%s" (injection_to_line inj)) sc.sc_injections;
+  List.iter (fun chk -> line "%s" (check_to_line chk)) sc.sc_checks;
+  Option.iter (fun s -> line "xfail %s" s) sc.sc_xfail;
+  Buffer.contents buf
+
+let print ppf sc = Format.pp_print_string ppf (to_string sc)
+
+let strip_lines sc =
+  { sc with
+    sc_injections = List.map (fun i -> { i with inj_line = 0 }) sc.sc_injections;
+    sc_checks = List.map (fun c -> { c with chk_line = 0 }) sc.sc_checks }
+
+let equal a b = strip_lines a = strip_lines b
+
+(* lexical helpers shared with the matrix expander *)
+let tokens_of_line = tokens_of
+let duration_of_token ~line tok = parse_duration ~line tok
+let parse_error ~line ~token reason = err line token reason
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                          *)

@@ -32,23 +32,33 @@
     - [seed N] / [horizon DURATION] — defaults for the run (the
       harness's own defaults otherwise).  Durations are [NUMBER] plus
       one of [us ms s m h], e.g. [500ms], [1.5s], [2m].
-    - [fault [send|receive|both] SPEC] — a generated fault installed on
-      the harness PFI layer before the run (side defaults to [both]).
-      [SPEC] is one of [drop_all T], [drop_after T N], [drop_first T N],
-      [drop_fraction T P], [omission_all P], [byzantine_mix P],
-      [delay_each T SECONDS], [duplicate T], [corrupt T P], [reorder T],
-      [inject_spurious T DST] — exactly {!Generator.fault}.
+    - [fault [send|receive|both] SPEC [+ SPEC ...]] — generated faults
+      installed on the harness PFI layer before the run (side defaults
+      to [both]); [+]-separated specs install a multi-fault sequence on
+      the same side, equivalent to one [fault] directive each.  [SPEC]
+      is one of [drop_all T], [drop_after T N], [drop_first T N],
+      [drop_nth T N], [drop_fraction T P], [omission_all P],
+      [byzantine_mix P], [delay_each T SECONDS], [duplicate T],
+      [corrupt T P], [reorder T], [inject_spurious T DST] — exactly
+      {!Generator.fault}.
     - [@T inject send|receive MTYPE [k=v ...] [to NODE]] — fabricate a
       stateless message through the harness stub at virtual time [T] and
       introduce it below ([send], addressed to [NODE], default the
       harness target) or above ([receive]) the PFI layer.
     - [[@T] expect ... [within D]] — a conformance oracle over the run's
       trace.  Patterns are atoms [node=X], [tag=X], [detail~SUBSTRING]
-      and [f.KEY=VALUE].  Variants: bare / [eventually] (some entry
-      matches; [@T]/[within] constrain the window), [never PATTERN],
-      [count PATTERN OP N] with [OP] one of [< <= == != >= >], [ordered
-      P1 ; P2 ; ...], and [service] (the harness's built-in service
-      oracle).
+      and [f.KEY=VALUE]; a value containing ['*'] glob-matches the whole
+      entry value ({!Oracle.pattern}).  Variants: bare / [eventually]
+      (some entry matches; [@T]/[within] constrain the window),
+      [never PATTERN], [count PATTERN OP N] with [OP] one of
+      [< <= == != >= >], [ordered P1 ; P2 ; ...], and [service] (the
+      harness's built-in service oracle).  Two textually different
+      [expect] directives stating the identical expectation are a parse
+      error — generated corpora cannot silently shadow a check.
+    - Every [@T] prefix also accepts the relative form [@+DUR]: [DUR]
+      after the time of the previous [@]-prefixed directive in the file
+      (zero before any), resolved to an absolute time at parse time.
+      [@+0s] pins "at the same time as the previous block".
     - [xfail SUBSTRING...] — declares the scenario is {e expected} to
       fail with a diagnostic containing the (space-joined) substring:
       conformance tests for the [*-buggy] harnesses stay green while
@@ -111,6 +121,53 @@ val parse : ?name:string -> string -> t
 val load : string -> t
 (** Reads and parses a file; the scenario name defaults to the file's
     basename.  Raises {!Parse_error} or [Sys_error]. *)
+
+(** {1 Printing}
+
+    {!to_string} is the inverse of {!parse}: it renders a scenario as
+    canonical [.pfis] text such that [parse (to_string sc)] is {!equal}
+    to [sc].  Generated corpora ({!Matrix}) are emitted through it, so
+    generation is a print→parse round trip over the same AST.  Raises
+    [Invalid_argument] for scenarios the concrete syntax cannot express:
+    unknown harnesses, unconstrained or [All]/[Any] oracles, empty
+    [ordered] steps, tokens containing whitespace or [#], injection
+    argument lists that do not start with the spec's generation
+    arguments. *)
+
+val to_string : t -> string
+val print : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+(** Structural equality ignoring the recorded source-line numbers
+    ([inj_line], [chk_line]) — the equality [to_string]/[parse] round
+    trips under. *)
+
+val duration_to_string : Pfi_engine.Vtime.t -> string
+(** Canonical duration token ([90s], [450ms], [2h]): the largest unit
+    that divides the time exactly, guaranteed to re-parse to the same
+    {!Pfi_engine.Vtime.t}.  Raises [Invalid_argument] on negative or
+    infinite times. *)
+
+val float_to_string : float -> string
+(** Shortest decimal that reads back to the exact float, falling back
+    to the [%h] hex-float form (which the parser also accepts). *)
+
+(** {1 Lexical helpers}
+
+    Shared with the {!Matrix} expander so [.pfim] matrix specs follow
+    exactly the scenario language's lexical rules. *)
+
+val tokens_of_line : string -> string list
+(** Whitespace-split words; a word starting with [#] comments out the
+    rest of the line. *)
+
+val duration_of_token : line:int -> string -> Pfi_engine.Vtime.t
+(** Parses a [NUMBER(us|ms|s|m|h)] token, raising {!Parse_error} at
+    [line] on malformed input. *)
+
+val parse_error : line:int -> token:string -> string -> 'a
+(** Raises {!Parse_error} — for other parsers of this lexical family
+    (the matrix expander) to report errors in the same format. *)
 
 (** {1 Execution} *)
 

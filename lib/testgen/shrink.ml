@@ -32,6 +32,9 @@ let fault_cost = function
   | Generator.Inject_spurious _ -> 1
   | Generator.Drop_after (_, n) -> 1 + n
   | Generator.Drop_first (_, n) -> 1 + n
+  (* a longer period drops fewer frames, so cost falls as n grows; the
+     1000/n permille form keeps every doubling a strict decrease *)
+  | Generator.Drop_nth (_, n) -> 1 + (1000 / max 1 n)
   | Generator.Drop_fraction (_, p) | Generator.Corrupt (_, p)
   | Generator.Omission_all p -> 1 + permille p
   | Generator.Delay_each (_, s) -> 1 + permille s
@@ -77,6 +80,12 @@ let fault_candidates ~(spec : Spec.t) fault =
       (List.filter_map
          (fun n' -> if n' >= 1 && n' < n then Some (Generator.Drop_first (t, n')) else None)
          [ n / 2; n - 1 ])
+  | Generator.Drop_nth (t, n) ->
+    (* weaken by doubling the period (half the drops); 1000/n bottoms
+       out once n passes 1000, so stop there *)
+    if n >= 1 && n <= 500 && 1000 / (2 * n) < 1000 / n then
+      [ Generator.Drop_nth (t, 2 * n) ]
+    else []
   | Generator.Drop_fraction (t, p) ->
     List.map (fun p' -> Generator.Drop_fraction (t, p')) (halve_probability p)
   | Generator.Corrupt (t, p) ->

@@ -50,9 +50,76 @@ let test_help_campaign () =
   check_golden ~path:"golden/help_campaign.expected"
     (run_cli [ "help"; "campaign" ])
 
+let test_help_gen () =
+  check_golden ~path:"golden/help_gen.expected" (run_cli [ "help"; "gen" ])
+
+(* ------------------------------------------------------------------ *)
+(* `pfi_run gen` on the tiny fixed matrix: the generated file set and  *)
+(* manifest are pinned byte-for-byte, and generation is deterministic  *)
+(* ------------------------------------------------------------------ *)
+
+let test_dir path = Filename.concat (Filename.dirname Sys.executable_name) path
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pfi_gen_%s_%d" tag (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir)
+  else Sys.mkdir dir 0o755;
+  dir
+
+let gen_tiny tag =
+  let dir = fresh_dir tag in
+  let _ = run_cli [ "gen"; test_dir "matrix/tiny.pfim"; "-o"; dir ] in
+  dir
+
+let test_gen_tiny_golden () =
+  let dir = gen_tiny "a" in
+  let files = Sys.readdir dir |> Array.to_list |> List.sort String.compare in
+  check_golden ~path:"golden/tiny_corpus_files.expected"
+    (String.concat "\n" files ^ "\n");
+  check_golden ~path:"golden/tiny_manifest.expected.json"
+    (read_file (Filename.concat dir "manifest.json"))
+
+let test_gen_tiny_deterministic () =
+  let a = gen_tiny "b" and b = gen_tiny "c" in
+  let manifest d = read_file (Filename.concat d "manifest.json") in
+  Alcotest.(check string)
+    "manifest is byte-identical across two gen runs" (manifest a) (manifest b);
+  List.iter
+    (fun f ->
+      if Filename.check_suffix f ".pfis" then
+        Alcotest.(check string)
+          (f ^ " is byte-identical across two gen runs")
+          (read_file (Filename.concat a f))
+          (read_file (Filename.concat b f)))
+    (Sys.readdir a |> Array.to_list |> List.sort String.compare)
+
+let test_check_manifest_jobs_parity () =
+  let dir = gen_tiny "d" in
+  let manifest = Filename.concat dir "manifest.json" in
+  let run jobs =
+    run_cli [ "check"; "--manifest"; manifest; "--jobs"; jobs; "--json" ]
+  in
+  Alcotest.(check string)
+    "check --manifest --json is byte-identical at --jobs 1 and 4" (run "1")
+    (run "4")
+
 let suite =
   [ Alcotest.test_case "pfi_run msc matches the golden ladder" `Slow test_msc;
     Alcotest.test_case "pfi_run help matches the golden table" `Quick
       test_help_all;
     Alcotest.test_case "pfi_run help check golden" `Quick test_help_check;
-    Alcotest.test_case "pfi_run help campaign golden" `Quick test_help_campaign ]
+    Alcotest.test_case "pfi_run help campaign golden" `Quick test_help_campaign;
+    Alcotest.test_case "pfi_run help gen golden" `Quick test_help_gen;
+    Alcotest.test_case "pfi_run gen tiny corpus matches the goldens" `Quick
+      test_gen_tiny_golden;
+    Alcotest.test_case "pfi_run gen is deterministic across runs" `Quick
+      test_gen_tiny_deterministic;
+    Alcotest.test_case "check --manifest output is jobs-invariant" `Slow
+      test_check_manifest_jobs_parity ]

@@ -293,9 +293,13 @@ let test_engine_bench_deterministic () =
   let scenario_dir =
     if Sys.file_exists "scenarios" then "scenarios" else "test/scenarios"
   in
+  let matrix_spec =
+    if Sys.file_exists "matrix/tiny.pfim" then "matrix/tiny.pfim"
+    else "test/matrix/tiny.pfim"
+  in
   let run () =
     Engine_bench.run ~jobs:[ 1; 2 ] ~harnesses:[ "abp"; "abp-buggy" ]
-      ~scenario_dir ()
+      ~scenario_dir ~matrix_spec ()
   in
   let a = run () and b = run () in
   Alcotest.(check string) "identical JSON modulo timing fields"
@@ -304,6 +308,10 @@ let test_engine_bench_deterministic () =
   Alcotest.(check bool) "scenario corpus was found and ran" true
     (match a.Engine_bench.b_scenarios with
      | Some sb -> sb.Engine_bench.sb_count > 0
+     | None -> false);
+  Alcotest.(check bool) "matrix expansion was benchmarked" true
+    (match a.Engine_bench.b_gen with
+     | Some gb -> gb.Engine_bench.gb_count > 0
      | None -> false);
   (* the timing-included document is still valid JSON *)
   (match Pfi_testgen.Repro.Json.parse (Engine_bench.to_string a) with

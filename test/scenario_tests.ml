@@ -123,6 +123,58 @@ let test_pattern_fields_and_node () =
     (eval
        (Oracle.Eventually (Oracle.pattern ~node:"alice" ~tag:"abp.retransmit" ())))
 
+let test_wildcard_patterns () =
+  (* a '*' in any value turns it into a whole-value glob *)
+  let v =
+    Oracle.eval
+      (Oracle.Count (Oracle.pattern ~tag:"abp.*" (), Oracle.Eq, 5))
+      (sample_trace ())
+  in
+  Alcotest.(check bool) "tag=abp.* counts every abp event" true v.Oracle.pass;
+  Alcotest.(check (pair bool (option int)))
+    "node glob matches the whole node name" (true, Some 0)
+    (eval (Oracle.Eventually (Oracle.pattern ~node:"a*e" ())));
+  (* a wildcarded detail globs the FULL detail string, so an anchored
+     shape no longer behaves like a substring probe *)
+  Alcotest.(check (pair bool (option int)))
+    "detail glob anchors at both ends" (true, Some 1)
+    (eval (Oracle.Eventually (Oracle.pattern ~detail:"msg-*" ())));
+  Alcotest.(check bool) "unmatched glob tail fails" false
+    (fst (eval (Oracle.Eventually (Oracle.pattern ~detail:"msg-0*X" ()))));
+  Alcotest.(check bool) "wrap in '*'s to keep substring behaviour" true
+    (fst (eval (Oracle.Eventually (Oracle.pattern ~detail:"*arbag*" ()))));
+  Alcotest.(check (pair bool (option int)))
+    "field values glob too" (true, Some 1)
+    (eval (Oracle.Eventually (Oracle.pattern ~fields:[ ("bit", "*") ] ())))
+
+let test_within_edge_cases () =
+  (* a zero-width window is a legal "at exactly T" assertion *)
+  Alcotest.(check (pair bool (option int)))
+    "zero-width window hit" (true, Some 1)
+    (eval (Oracle.Within (deliver, Vtime.sec 2, Vtime.sec 2)));
+  let v =
+    Oracle.eval
+      (Oracle.Within (deliver, Vtime.sec 3, Vtime.sec 3))
+      (sample_trace ())
+  in
+  Alcotest.(check bool) "zero-width window miss" false v.Oracle.pass;
+  Alcotest.(check (option int))
+    "miss cites the nearest out-of-window match" (Some 1) v.Oracle.witness;
+  Alcotest.(check bool) "reason counts the out-of-window matches" true
+    (contains v.Oracle.reason "2 matches fall outside");
+  (* the final trace entry can be the witness *)
+  Alcotest.(check (pair bool (option int)))
+    "final entry as zero-width witness" (true, Some 4)
+    (eval
+       (Oracle.Within
+          (Oracle.pattern ~tag:"abp.bad-frame" (), Vtime.sec 9, Vtime.sec 9)));
+  Alcotest.(check (pair bool (option int)))
+    "final entry closes an ordered chain" (true, Some 4)
+    (eval
+       (Oracle.Ordered
+          [ Oracle.pattern ~tag:"abp.out" ();
+            Oracle.pattern ~tag:"abp.bad-frame" () ]))
+
 let test_check_reports_first_failure () =
   match
     Oracle.check
@@ -235,6 +287,53 @@ let test_parse_errors () =
      | exception Scenario.Parse_error e ->
        Scenario.error_message ~file:"demo.pfis" e)
 
+(* the matrix-era syntax: relative @+DUR blocks and multi-fault lines *)
+let test_parse_relative_times () =
+  let sc =
+    Scenario.parse
+      "run abp\n\
+       @2s inject receive ACK bit=1\n\
+       @+500ms inject receive ACK bit=0\n\
+       @+0s expect tag=abp.deliver within 1s\n"
+  in
+  (match sc.Scenario.sc_injections with
+   | [ a; b ] ->
+     Alcotest.(check bool) "absolute @2s" true
+       (Vtime.equal a.Scenario.inj_at (Vtime.sec 2));
+     Alcotest.(check bool) "@+500ms is 500ms after the previous block" true
+       (Vtime.equal b.Scenario.inj_at (Vtime.ms 2500))
+   | _ -> Alcotest.fail "expected two injections");
+  match sc.Scenario.sc_checks with
+  | [ { Scenario.chk_expect = Scenario.Trace_oracle (Oracle.Within (_, lo, hi));
+        _ } ] ->
+    Alcotest.(check bool) "@+0s pins the previous block's time" true
+      (Vtime.equal lo (Vtime.ms 2500) && Vtime.equal hi (Vtime.ms 3500))
+  | _ -> Alcotest.fail "expected one Within check"
+
+let test_parse_multi_fault () =
+  let sc =
+    Scenario.parse "run abp\nfault send drop_first MSG 2 + drop_nth ACK 3\n"
+  in
+  match sc.Scenario.sc_faults with
+  | [ (Campaign.Send_filter, Generator.Drop_first ("MSG", 2));
+      (Campaign.Send_filter, Generator.Drop_nth ("ACK", 3)) ] -> ()
+  | _ -> Alcotest.fail "multi-fault sequence did not parse as two faults"
+
+let test_parse_errors_extensions () =
+  (* a duplicate expect is rejected, citing the line it shadows *)
+  (match Scenario.parse "run abp\nexpect service\nexpect service\n" with
+   | _ -> Alcotest.fail "expected the duplicate expect to be rejected"
+   | exception Scenario.Parse_error e ->
+     Alcotest.(check int) "error line" 3 e.Scenario.err_line;
+     Alcotest.(check string) "error token" "expect" e.Scenario.err_token;
+     Alcotest.(check bool) "reason cites the prior line" true
+       (contains e.Scenario.err_reason "line 2"));
+  check_parse_error ~line:2 ~token:"0" "run abp\nfault send drop_nth MSG 0";
+  check_parse_error ~line:2 ~token:"+" "run abp\nfault send + drop_all MSG";
+  check_parse_error ~line:2 ~token:"+" "run abp\nfault send drop_all MSG +";
+  check_parse_error ~line:2 ~token:"wat"
+    "run abp\n@+wat inject receive ACK bit=1"
+
 (* ------------------------------------------------------------------ *)
 (* Campaign verdicts as oracles                                       *)
 (* ------------------------------------------------------------------ *)
@@ -315,6 +414,19 @@ let test_corpus_pins_buggy_harness () =
           rows)
     xfails
 
+(* the invariant generated corpora (Matrix) are built on: canonical
+   printing is the inverse of parsing, for every checked-in scenario *)
+let test_corpus_print_round_trip () =
+  List.iter
+    (fun file ->
+      let sc = Scenario.load file in
+      let text = Scenario.to_string sc in
+      let sc2 = Scenario.parse text in
+      if not (Scenario.equal sc sc2) then
+        Alcotest.failf "%s does not survive print→parse"
+          (Filename.basename file))
+    (corpus ())
+
 let test_scenario_run_deterministic () =
   let file =
     List.find
@@ -338,6 +450,10 @@ let suite =
     Alcotest.test_case "oracle: comparison names roundtrip" `Quick
       test_comparison_names;
     Alcotest.test_case "oracle: all/any propagate verdicts" `Quick test_all_any;
+    Alcotest.test_case "oracle: wildcard values glob whole entries" `Quick
+      test_wildcard_patterns;
+    Alcotest.test_case "oracle: zero-width windows and final witnesses" `Quick
+      test_within_edge_cases;
     Alcotest.test_case "oracle: field and node patterns" `Quick
       test_pattern_fields_and_node;
     Alcotest.test_case "oracle: check reports the first failure" `Quick
@@ -347,6 +463,14 @@ let suite =
     Alcotest.test_case "scenario: example file parses" `Quick test_parse_example;
     Alcotest.test_case "scenario: errors name line and token" `Quick
       test_parse_errors;
+    Alcotest.test_case "scenario: @+DUR relative blocks" `Quick
+      test_parse_relative_times;
+    Alcotest.test_case "scenario: multi-fault '+' sequences" `Quick
+      test_parse_multi_fault;
+    Alcotest.test_case "scenario: matrix-era syntax errors" `Quick
+      test_parse_errors_extensions;
+    Alcotest.test_case "corpus scenarios survive print→parse" `Quick
+      test_corpus_print_round_trip;
     Alcotest.test_case "campaign verdicts expressible as oracles" `Quick
       test_campaign_oracles;
     Alcotest.test_case "corpus: every scenario passes" `Slow test_corpus_green;

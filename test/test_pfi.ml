@@ -13,5 +13,6 @@ let () =
       ("repro", Repro_tests.suite);
       ("experiments", Experiments_tests.suite);
       ("scenario", Scenario_tests.suite);
+      ("matrix", Matrix_tests.suite);
       ("cli-golden", Cli_golden_tests.suite);
       ("properties", Property_tests.suite) ]
