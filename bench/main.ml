@@ -284,18 +284,15 @@ let run_scaling () =
   let (module H : Harness_intf.HARNESS) =
     Option.get (Registry.find "abp-buggy")
   in
-  let trials =
-    List.length (Campaign.plan ~spec:H.spec ~target:H.target ())
-  in
+  let plan = Campaign.plan (module H : Harness_intf.HARNESS) in
+  let trials = List.length plan.Campaign.p_trials in
   let time_at jobs =
     let executor = Executor.of_jobs jobs in
     let t0 = Unix.gettimeofday () in
-    let outcomes =
-      Campaign.run ~executor (module H : Harness_intf.HARNESS) ()
-    in
+    let outcomes = (Campaign.run ~executor plan).Campaign.s_outcomes in
     let dt = Unix.gettimeofday () -. t0 in
     assert (List.length outcomes = trials);
-    (dt, Campaign.summary outcomes)
+    (dt, Campaign.table outcomes)
   in
   (* warm-up run so allocation effects don't bias jobs=1 *)
   ignore (time_at 1);

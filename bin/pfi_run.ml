@@ -18,6 +18,10 @@
                                    diffs outcomes against its manifest
    - `pfi-run gen <spec> -o DIR`   expand a *.pfim scenario-matrix spec
                                    into a .pfis corpus + JSON manifest
+   - `pfi-run fuzz <harness>`      coverage-guided fault fuzzing:
+                                   mutate fault scripts/schedules, keep
+                                   coverage-increasing inputs, shrink and
+                                   dedupe violations into findings
    - `pfi-run help [<cmd>]`        the normalized option table
 
    Every subcommand draws its flags from one option-spec table (Copts
@@ -107,30 +111,57 @@ module Copts = struct
          expected verdict.  Mutually exclusive with positional files; exit \
          1 on any mismatch." }
 
+  let budget =
+    { flag = "budget";
+      docv = "N";
+      doc =
+        "Mutation budget: total fuzz-loop executions (mutated trial runs) \
+         to spend (default 200).  Minimization re-runs per finding are \
+         accounted separately." }
+
+  let corpus =
+    { flag = "corpus";
+      docv = "DIR";
+      doc =
+        "Write the fuzzing outputs into $(docv) (created if missing): \
+         findings.jsonl (the deduplicated findings stream), one replayable \
+         repro artifact per minimized finding, and corpus.txt listing \
+         every coverage-increasing input in discovery order." }
+
   (* which subcommand carries which options — the single source the
-     Cmdliner terms and `pfi_run help <cmd>` are both generated from *)
+     Cmdliner terms and `pfi_run help <cmd>` are both generated from.
+     The last field lists deprecation notes: forms that still parse (or
+     are silently ignored) but are flagged in help output and slated
+     for removal. *)
   let commands =
-    [ ("list", "ARTIFACTS?", "List regenerable artifacts and harnesses.",
-       [ json ]);
+    [ ("list", "", "List regenerable artifacts and harnesses.",
+       [ json ],
+       [ "the undocumented positional ARTIFACTS argument is deprecated \
+          and ignored; use `pfi_run run ARTIFACT...` to select artifacts" ]);
       ("run", "ARTIFACT...", "Regenerate one or more paper artifacts.",
-       [ seed; trace_out; json ]);
+       [ seed; trace_out; json ], []);
       ("repl", "", "Interactive REPL over the filter scripting language.",
-       [ seed ]);
+       [ seed ], []);
       ("msc", "", "Print the paper's global-error-counter ladder diagram.",
-       [ seed; trace_out; json ]);
+       [ seed; trace_out; json ], []);
       ("campaign", "TARGET", "Run a generated fault-injection campaign.",
-       [ seed; trace_out; json; jobs; repro_dir ]);
+       [ seed; trace_out; json; jobs; repro_dir ], []);
       ("shrink", "FILE", "Minimize a violating repro artifact.",
-       [ seed; trace_out; json; jobs; output; max_trials ]);
+       [ seed; trace_out; json; jobs; output; max_trials ], []);
       ("replay", "FILE", "Deterministically re-execute a repro artifact.",
-       [ seed; trace_out; json ]);
+       [ seed; trace_out; json ], []);
       ("check", "FILE...",
        "Run packetdrill-style scenario conformance scripts (*.pfis).",
-       [ seed; trace_out; json; jobs; manifest ]);
+       [ seed; trace_out; json; jobs; manifest ], []);
       ("gen", "SPEC",
        "Expand a *.pfim scenario-matrix spec into a .pfis corpus with a \
         JSON manifest.",
-       [ output; json; limit ]) ]
+       [ output; json; limit ], []);
+      ("fuzz", "HARNESS",
+       "Coverage-guided fault fuzzing: mutate fault scripts and injection \
+        schedules, keep inputs that reach new trace coverage, minimize and \
+        deduplicate every violation into a findings stream.",
+       [ seed; trace_out; json; jobs; budget; corpus ], []) ]
 
   (* Cmdliner terms, generated from the specs *)
   let flag_term spec = Arg.(value & flag & info [ spec.flag ] ~doc:spec.doc)
@@ -159,6 +190,8 @@ module Copts = struct
     Arg.(value & opt int 1 & info [ jobs.flag ] ~docv:jobs.docv ~doc:jobs.doc)
   let limit_term = opt_term Arg.int limit
   let manifest_term = opt_term Arg.string manifest
+  let budget_term = opt_term Arg.int budget
+  let corpus_term = opt_term Arg.string corpus
 end
 
 (* `pfi_run help [CMD]`: print the normalized option table *)
@@ -193,8 +226,9 @@ let help_table cmd =
     go 0;
     Buffer.contents buf
   in
-  let print_one (name, args, doc, opts) =
-    Printf.printf "pfi_run %s %s\n  %s\n" name args (plain doc);
+  let print_one (name, args, doc, opts, deprecations) =
+    let usage = if args = "" then name else name ^ " " ^ args in
+    Printf.printf "pfi_run %s\n  %s\n" usage (plain doc);
     List.iter
       (fun (o : Copts.spec) ->
         let lhs =
@@ -203,12 +237,17 @@ let help_table cmd =
         in
         Printf.printf "    %-22s %s\n" lhs (plain ~docv:o.docv o.doc))
       opts;
+    List.iter
+      (fun note -> Printf.printf "    deprecated: %s\n" (plain note))
+      deprecations;
     print_newline ()
   in
   match cmd with
   | None -> List.iter print_one Copts.commands
   | Some name ->
-    (match List.find_opt (fun (n, _, _, _) -> n = name) Copts.commands with
+    (match
+       List.find_opt (fun (n, _, _, _, _) -> n = name) Copts.commands
+     with
      | Some entry -> print_one entry
      | None ->
        Printf.eprintf "unknown command %S (try `pfi_run help`)\n" name;
@@ -250,7 +289,13 @@ let artifacts : (string * string * (unit -> output)) list =
 let json_str s = Pfi_testgen.Repro.Json.Str s
 let json_print tree = print_endline (Pfi_testgen.Repro.Json.to_string tree)
 
-let list_ json =
+let list_ positional json =
+  (* deprecated, undocumented positional form: still accepted, never
+     acted on — flagged here and in `pfi_run help list` *)
+  if positional <> [] then
+    Printf.eprintf
+      "list: positional arguments are deprecated and ignored (use `pfi_run \
+       run ARTIFACT...`)\n";
   if json then begin
     List.iter
       (fun (name, desc, _) ->
@@ -283,7 +328,10 @@ let list_ json =
 
 let list_cmd =
   let doc = "List the paper artifacts and campaign harnesses." in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const list_ $ Copts.json_term)
+  let positional =
+    Arg.(value & pos_all string [] & info [] ~docv:"DEPRECATED")
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_ $ positional $ Copts.json_term)
 
 (* While [f] runs, capture every simulation it creates (experiment
    generators build their sims internally) and let it flush their traces
@@ -528,13 +576,10 @@ let campaign which trace_out repro_dir seed jobs json =
   let campaign_seed = Option.value seed ~default:H.default_seed in
   let executor = Executor.of_jobs jobs in
   let oc = Option.map open_trace_out trace_out in
-  let control_trace = ref None in
-  let on_control sim = control_trace := Some (Pfi_engine.Sim.trace sim) in
   (match
-     Campaign.run ~seed:campaign_seed ~executor
-       ~capture_traces:(oc <> None) ~on_control
-       (module H : Harness_intf.HARNESS)
-       ()
+     Campaign.run ~executor
+       ~observe:(Campaign.observe ~traces:(oc <> None) ())
+       (Campaign.plan ~seed:campaign_seed (module H : Harness_intf.HARNESS))
    with
    | exception Campaign.Control_failure reason ->
      (* only the dedicated control-trial exception: a Failure raised by
@@ -545,7 +590,8 @@ let campaign which trace_out repro_dir seed jobs json =
          (Repro.Json.Obj [ ("control_failure", json_str reason) ])
      else
        Printf.printf "the fault-free control trial already fails: %s\n" reason
-   | outcomes ->
+   | summary ->
+     let outcomes = summary.Campaign.s_outcomes in
      if json then begin
        List.iter (fun o -> json_print (outcome_json o)) outcomes;
        json_print
@@ -555,7 +601,7 @@ let campaign which trace_out repro_dir seed jobs json =
                Repro.Json.Int (List.length (Campaign.violations outcomes)));
               ("executor", json_str (Executor.name executor)) ])
      end
-     else print_string (Campaign.summary outcomes);
+     else print_string (Campaign.table outcomes);
      (* the trace export walks control + trials in canonical order, so
         the JSONL bytes are independent of the worker count too *)
      (match oc with
@@ -564,7 +610,7 @@ let campaign which trace_out repro_dir seed jobs json =
         let extra i =
           [ ("campaign", which); ("sim", string_of_int i) ]
         in
-        (match !control_trace with
+        (match summary.Campaign.s_control_trace with
          | Some trace ->
            Pfi_engine.Trace.output_jsonl ~extra:(extra 0) oc trace
          | None -> ());
@@ -810,6 +856,127 @@ let shrink_cmd =
       $ Copts.json_term)
 
 (* ------------------------------------------------------------------ *)
+(* Coverage-guided fault fuzzing                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* mutate fault scripts and injection schedules over the generator's
+   fault lattice, keep coverage-increasing inputs, minimize and dedupe
+   violations.  Deterministic end-to-end: findings (and the findings
+   JSONL) are byte-identical for any --jobs width. *)
+let fuzz which seed budget corpus_dir trace_out jobs json =
+  let open Pfi_testgen in
+  let (module H : Harness_intf.HARNESS) = registry_entry which in
+  let fuzz_seed = Option.value seed ~default:Campaign.default_seed in
+  let budget = Option.value budget ~default:Fuzz.default_budget in
+  let executor = Executor.of_jobs jobs in
+  let res =
+    Fuzz.run ~executor ~seed:fuzz_seed ~budget
+      (module H : Harness_intf.HARNESS)
+  in
+  let finding_lines =
+    List.map
+      (fun fd -> Repro.Json.to_line (Fuzz.finding_json ~harness:H.name fd))
+      res.Fuzz.r_findings
+  in
+  if json then begin
+    List.iter print_endline finding_lines;
+    json_print
+      (Repro.Json.Obj
+         [ ("harness", json_str H.name);
+           ("seed", json_str (Int64.to_string fuzz_seed));
+           ("budget", Repro.Json.Int budget);
+           ("execs", Repro.Json.Int res.Fuzz.r_execs);
+           ("shrink_execs", Repro.Json.Int res.Fuzz.r_shrink_execs);
+           ("features", Repro.Json.Int res.Fuzz.r_features);
+           ("corpus", Repro.Json.Int (List.length res.Fuzz.r_corpus));
+           ("findings", Repro.Json.Int (List.length res.Fuzz.r_findings));
+           ("executor", json_str (Executor.name executor)) ])
+  end
+  else begin
+    Printf.printf
+      "fuzz %s: %d/%d executions (+%d shrink), %d coverage features, %d \
+       corpus inputs, %d findings\n"
+      H.name res.Fuzz.r_execs budget res.Fuzz.r_shrink_execs
+      res.Fuzz.r_features
+      (List.length res.Fuzz.r_corpus)
+      (List.length res.Fuzz.r_findings);
+    List.iter
+      (fun (fd : Fuzz.finding) ->
+        Printf.printf "  %s%s\n    fault: %-40s side: %-8s seed: %Ld\n    %s\n"
+          fd.Fuzz.fd_signature
+          (if fd.Fuzz.fd_minimized then "  (minimized)" else "")
+          (Generator.describe fd.Fuzz.fd_fault)
+          (Campaign.side_name fd.Fuzz.fd_side)
+          fd.Fuzz.fd_seed fd.Fuzz.fd_reason)
+      res.Fuzz.r_findings
+  end;
+  (match trace_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_trace_out path in
+     List.iteri
+       (fun i (fd : Fuzz.finding) ->
+         match fd.Fuzz.fd_trace with
+         | Some trace ->
+           Pfi_engine.Trace.output_jsonl
+             ~extra:
+               [ ("fuzz", H.name);
+                 ("finding", fd.Fuzz.fd_signature);
+                 ("sim", string_of_int i) ]
+             oc trace
+         | None -> ())
+       res.Fuzz.r_findings;
+     close_out oc);
+  match corpus_dir with
+  | None -> ()
+  | Some dir ->
+    mkdir_p dir;
+    let foc = open_out_bin (Filename.concat dir "findings.jsonl") in
+    List.iter (fun l -> output_string foc (l ^ "\n")) finding_lines;
+    close_out foc;
+    List.iteri
+      (fun i fd ->
+        match
+          Fuzz.repro_of_finding ~harness:H.name
+            ~protocol:H.spec.Spec.protocol ~target:H.target
+            ~campaign_seed:fuzz_seed fd
+        with
+        | None -> ()
+        | Some artifact ->
+          let path =
+            Filename.concat dir (Repro.filename ~index:(i + 1) artifact)
+          in
+          Repro.save path artifact;
+          if json then
+            json_print (Repro.Json.Obj [ ("repro", json_str path) ])
+          else Printf.printf "repro artifact: %s\n" path)
+      res.Fuzz.r_findings;
+    let coc = open_out_bin (Filename.concat dir "corpus.txt") in
+    List.iter
+      (fun input -> output_string coc (Fuzz.canonical input ^ "\n"))
+      res.Fuzz.r_corpus;
+    close_out coc
+
+let fuzz_cmd =
+  let doc =
+    "Coverage-guided fault fuzzing against a registry harness: mutate \
+     fault scripts and injection schedules over the generated fault \
+     lattice, keep inputs that reach new trace coverage ((node, tag) \
+     pairs, protocol-state transitions, oracle near-misses), and shrink \
+     plus deduplicate every service violation into a findings stream.  \
+     Deterministic for a fixed $(b,--seed) and $(b,--budget): findings \
+     are byte-identical for any $(b,--jobs) width."
+  in
+  let which =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HARNESS")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const fuzz $ which $ Copts.seed_term $ Copts.budget_term
+      $ Copts.corpus_term $ Copts.trace_out_term $ Copts.jobs_term
+      $ Copts.json_term)
+
+(* ------------------------------------------------------------------ *)
 (* Scenario conformance scripts                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -873,10 +1040,11 @@ let read_file path =
    for any worker count *)
 let run_scenario_files ~executor ~capture ?seed files =
   let open Pfi_testgen in
+  let observe = Campaign.observe ~traces:capture () in
   Executor.map executor
     (fun file ->
       match Scenario.load file with
-      | sc -> Ok (Scenario.run ?seed ~capture_trace:capture sc)
+      | sc -> Ok (Scenario.run ?seed ~observe sc)
       | exception Scenario.Parse_error e ->
         Error (Scenario.error_message ~file e)
       | exception Sys_error m -> Error m)
@@ -1189,4 +1357,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; repl_cmd; msc_cmd; campaign_cmd; shrink_cmd;
-            replay_cmd; check_cmd; gen_cmd; help_cmd ]))
+            replay_cmd; check_cmd; gen_cmd; fuzz_cmd; help_cmd ]))

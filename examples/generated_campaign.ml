@@ -15,13 +15,13 @@ let () =
 
   print_endline "--- correct implementation ---";
   let ok = Abp_harness.run_campaign () in
-  print_string (Campaign.summary ok);
+  print_string (Campaign.table ok);
 
   print_endline "\n--- implementation with the ignore-ack-bit bug ---";
   let buggy = Abp_harness.run_campaign ~bug_ignore_ack_bit:true () in
   (* print only the interesting rows *)
   let bad = Campaign.violations buggy in
-  print_string (Campaign.summary bad);
+  print_string (Campaign.table bad);
   if bad <> [] then
     print_endline
       "\nthe campaign found the implanted defect: under an arbitrary\n\

@@ -23,14 +23,27 @@ type gen_bench = {
   gb_wall : float;
 }
 
+type fuzz_bench = {
+  fb_harness : string;
+  fb_budget : int;
+  fb_execs : int;
+  fb_shrink_execs : int;
+  fb_features : int;
+  fb_findings : int;
+  fb_signatures_digest : string;
+  fb_wall : float;
+}
+
 type t = {
   b_jobs : int list;
   b_campaigns : campaign_bench list;
   b_scenarios : scenario_bench option;
   b_gen : gen_bench option;
+  b_fuzz : fuzz_bench option;
 }
 
 let default_jobs = [ 1; 2; 4; 8 ]
+let default_fuzz = Some ("abp-buggy", 60)
 
 (* total words allocated by this domain so far; campaigns at jobs = 1
    run entirely on the calling domain, so a delta around the run is the
@@ -45,12 +58,11 @@ let bench_campaign ~jobs name =
     | Some h -> h
     | None -> failwith (Printf.sprintf "engine_bench: unknown harness %S" name)
   in
+  let plan = Campaign.plan (module H : Harness_intf.HARNESS) in
   let run_at jobs =
     let t0 = Unix.gettimeofday () in
     let outcomes =
-      Campaign.run ~executor:(Executor.of_jobs jobs)
-        (module H : Harness_intf.HARNESS)
-        ()
+      (Campaign.run ~executor:(Executor.of_jobs jobs) plan).Campaign.s_outcomes
     in
     (outcomes, Unix.gettimeofday () -. t0)
   in
@@ -58,7 +70,7 @@ let bench_campaign ~jobs name =
   let w0 = words_now () in
   let base_outcomes, base_dt = run_at 1 in
   let alloc_words = words_now () -. w0 in
-  let summary = Campaign.summary base_outcomes in
+  let summary = Campaign.table base_outcomes in
   let digest = Digest.to_hex (Digest.string summary) in
   let trials = List.length base_outcomes in
   let wall =
@@ -69,7 +81,7 @@ let bench_campaign ~jobs name =
           let outcomes, dt = run_at j in
           (* the PR-3 invariant, re-checked on every benchmark run:
              verdict output must not depend on the worker count *)
-          if not (String.equal summary (Campaign.summary outcomes)) then
+          if not (String.equal summary (Campaign.table outcomes)) then
             failwith
               (Printf.sprintf
                  "engine_bench: %s summary at jobs=%d differs from jobs=1"
@@ -132,13 +144,38 @@ let bench_gen spec =
         gb_wall = dt }
   end
 
-let run ?(jobs = default_jobs) ?harnesses ?scenario_dir ?matrix_spec () =
+(* fuzz throughput: a short coverage-guided run against one buggy
+   harness; findings/features are deterministic for the fixed seed, so
+   only the wall figure varies between runs *)
+let bench_fuzz (name, budget) =
+  match Registry.find name with
+  | None -> failwith (Printf.sprintf "engine_bench: unknown fuzz harness %S" name)
+  | Some packed ->
+    let t0 = Unix.gettimeofday () in
+    let res = Fuzz.run ~seed:1L ~budget packed in
+    let dt = Unix.gettimeofday () -. t0 in
+    let signatures =
+      String.concat "\n"
+        (List.map (fun f -> f.Fuzz.fd_signature) res.Fuzz.r_findings)
+    in
+    { fb_harness = name;
+      fb_budget = budget;
+      fb_execs = res.Fuzz.r_execs;
+      fb_shrink_execs = res.Fuzz.r_shrink_execs;
+      fb_features = res.Fuzz.r_features;
+      fb_findings = List.length res.Fuzz.r_findings;
+      fb_signatures_digest = Digest.to_hex (Digest.string signatures);
+      fb_wall = dt }
+
+let run ?(jobs = default_jobs) ?harnesses ?scenario_dir ?matrix_spec
+    ?(fuzz = default_fuzz) () =
   let jobs = if List.mem 1 jobs then jobs else 1 :: jobs in
   let harnesses = Option.value harnesses ~default:Registry.names in
   { b_jobs = jobs;
     b_campaigns = List.map (bench_campaign ~jobs) harnesses;
     b_scenarios = Option.bind scenario_dir bench_scenarios;
-    b_gen = Option.bind matrix_spec bench_gen }
+    b_gen = Option.bind matrix_spec bench_gen;
+    b_fuzz = Option.map bench_fuzz fuzz }
 
 (* ------------------------------------------------------------------ *)
 (* Serialisation                                                      *)
@@ -251,6 +288,34 @@ let to_json ?(include_timing = true) t =
                           float_of_int gb.gb_count /. gb.gb_wall
                         else 0.)) ]
                 else [])) ])
+     @ (match t.b_fuzz with
+        | None -> []
+        | Some fb ->
+          [ ("fuzz",
+             Repro.Json.Obj
+               ([ ("harness", Repro.Json.Str fb.fb_harness);
+                  ("budget", Repro.Json.Int fb.fb_budget);
+                  ("execs", Repro.Json.Int fb.fb_execs);
+                  ("shrink_execs", Repro.Json.Int fb.fb_shrink_execs);
+                  ("features", Repro.Json.Int fb.fb_features);
+                  ("findings", Repro.Json.Int fb.fb_findings);
+                  ("signatures_digest",
+                   Repro.Json.Str fb.fb_signatures_digest) ]
+                @
+                if include_timing then
+                  [ ("wall_s", Repro.Json.Float fb.fb_wall);
+                    ("execs_per_sec",
+                     Repro.Json.Float
+                       (if fb.fb_wall > 0. then
+                          float_of_int (fb.fb_execs + fb.fb_shrink_execs)
+                          /. fb.fb_wall
+                        else 0.));
+                    ("features_per_sec",
+                     Repro.Json.Float
+                       (if fb.fb_wall > 0. then
+                          float_of_int fb.fb_features /. fb.fb_wall
+                        else 0.)) ]
+                else [])) ])
      @ [ ("totals", totals) ])
 
 let to_string ?include_timing t =
@@ -285,6 +350,17 @@ let pp_summary ppf t =
      Format.fprintf ppf "gen: %d scenarios from %s in %.3fs (%.0f/sec)@."
        gb.gb_count gb.gb_matrix gb.gb_wall
        (if gb.gb_wall > 0. then float_of_int gb.gb_count /. gb.gb_wall
+        else 0.));
+  (match t.b_fuzz with
+   | None -> ()
+   | Some fb ->
+     Format.fprintf ppf
+       "fuzz: %s budget=%d: %d execs (+%d shrink), %d features, %d findings \
+        in %.2fs (%.1f execs/sec)@."
+       fb.fb_harness fb.fb_budget fb.fb_execs fb.fb_shrink_execs fb.fb_features
+       fb.fb_findings fb.fb_wall
+       (if fb.fb_wall > 0. then
+          float_of_int (fb.fb_execs + fb.fb_shrink_execs) /. fb.fb_wall
         else 0.));
   let trials = List.fold_left (fun a c -> a + c.cb_trials) 0 t.b_campaigns in
   let events = List.fold_left (fun a c -> a + c.cb_sim_events) 0 t.b_campaigns in

@@ -25,7 +25,7 @@ type campaign_bench = {
       (** total simulator callbacks fired across all trials — identical
           at every width, the events/sec numerator *)
   cb_summary_digest : string;
-      (** MD5 hex of {!Pfi_testgen.Campaign.summary}, equal across
+      (** MD5 hex of {!Pfi_testgen.Campaign.table}, equal across
           widths by construction (checked) *)
   cb_wall : (int * float) list;  (** jobs → wall-clock seconds *)
   cb_alloc_words_per_trial : float;
@@ -47,11 +47,25 @@ type gen_bench = {
   gb_wall : float;  (** parse + expand + render, seconds *)
 }
 
+type fuzz_bench = {
+  fb_harness : string;
+  fb_budget : int;  (** requested fuzz-loop executions *)
+  fb_execs : int;  (** fuzz-loop executions actually spent *)
+  fb_shrink_execs : int;  (** extra trials spent minimizing findings *)
+  fb_features : int;  (** corpus-wide coverage bits reached *)
+  fb_findings : int;  (** deduplicated failure signatures *)
+  fb_signatures_digest : string;
+      (** MD5 hex of the newline-joined finding signatures —
+          deterministic for the fixed fuzz seed *)
+  fb_wall : float;
+}
+
 type t = {
   b_jobs : int list;
   b_campaigns : campaign_bench list;
   b_scenarios : scenario_bench option;  (** [None] when no corpus dir *)
   b_gen : gen_bench option;  (** [None] when no matrix spec *)
+  b_fuzz : fuzz_bench option;  (** [None] when fuzzing was disabled *)
 }
 
 val run :
@@ -59,13 +73,17 @@ val run :
   ?harnesses:string list ->
   ?scenario_dir:string ->
   ?matrix_spec:string ->
+  ?fuzz:(string * int) option ->
   unit -> t
 (** Runs the macro benchmark.  [jobs] defaults to [[1; 2; 4; 8]];
     [harnesses] to every {!Pfi_testgen.Registry} entry; [scenario_dir]
     names a directory of [*.pfis] files (skipped when absent);
     [matrix_spec] a [*.pfim] matrix whose expansion is timed (skipped
     when absent), so corpus generation throughput (scenarios/sec) is
-    tracked alongside engine throughput.  Raises [Failure] if any
+    tracked alongside engine throughput.  [fuzz] (default
+    [Some ("abp-buggy", 60)]) names a harness and execution budget for
+    the coverage-guided fuzz throughput probe ({!Pfi_testgen.Fuzz.run}
+    at seed 1); pass [None] to skip it.  Raises [Failure] if any
     campaign summary differs between widths. *)
 
 val to_json : ?include_timing:bool -> t -> Pfi_testgen.Repro.Json.t

@@ -21,6 +21,7 @@ type trial = {
   t_side : side;
   t_seed : int64;
   t_script : Pfi_script.Ast.script;
+  t_arm : (Sim.t -> Pfi_core.Pfi_layer.t -> unit) option;
 }
 
 exception Control_failure of string
@@ -53,36 +54,83 @@ let side_code = function
   | Receive_filter -> 0x52L
   | Both_filters -> 0x53L
 
-let trial_seed ~campaign_seed ~side fault =
-  mix64
-    (Int64.add
-       (mix64 (Int64.add campaign_seed (Generator.fault_key fault)))
-       (side_code side))
+let trial_seed_of_key ~campaign_seed ~side key =
+  mix64 (Int64.add (mix64 (Int64.add campaign_seed key)) (side_code side))
 
-let plan ?(sides = all_sides) ?(seed = default_seed) ?(target = "peer") ~spec
-    () =
-  let faults = Generator.campaign ~target spec in
+let trial_seed ~campaign_seed ~side fault =
+  trial_seed_of_key ~campaign_seed ~side (Generator.fault_key fault)
+
+type observer = {
+  obs_traces : bool;
+  obs_oracles : Oracle.t list;
+  obs_outcome : (trial -> outcome -> unit) option;
+}
+
+let observe ?(traces = false) ?(oracles = []) ?outcome () =
+  { obs_traces = traces; obs_oracles = oracles; obs_outcome = outcome }
+
+let silent = observe ()
+
+type plan = {
+  p_harness : Harness_intf.packed;
+  p_trials : trial list;
+  p_horizon : Vtime.t;
+  p_seed : int64;
+  p_control : bool;
+}
+
+let trial ?arm ?script ~seed ~side fault =
+  let script =
+    match script with
+    | Some s -> s
+    | None -> Pfi_script.Interp.compile (Generator.script_of_fault fault)
+  in
+  { t_fault = fault; t_side = side; t_seed = seed; t_script = script;
+    t_arm = arm }
+
+let plan ?(sides = all_sides) ?seed ?horizon ?(control = true)
+    (module H : Harness_intf.HARNESS) =
+  let seed = Option.value seed ~default:H.default_seed in
+  let horizon = Option.value horizon ~default:H.default_horizon in
+  let faults = Generator.campaign ~target:H.target H.spec in
   (* compile each fault's filter once per campaign: the AST is immutable
      and shared by every (side, executor-domain) trial that runs it,
      instead of being re-parsed from source text once per trial *)
   let compiled =
     List.map
-      (fun fault -> (fault, Pfi_script.Interp.compile (Generator.script_of_fault fault)))
+      (fun fault ->
+        (fault, Pfi_script.Interp.compile (Generator.script_of_fault fault)))
       faults
   in
-  List.concat_map
-    (fun side ->
-      List.map
-        (fun (fault, script) ->
-          { t_fault = fault;
-            t_side = side;
-            t_seed = trial_seed ~campaign_seed:seed ~side fault;
-            t_script = script })
-        compiled)
-    sides
+  let trials =
+    List.concat_map
+      (fun side ->
+        List.map
+          (fun (fault, script) ->
+            { t_fault = fault;
+              t_side = side;
+              t_seed = trial_seed ~campaign_seed:seed ~side fault;
+              t_script = script;
+              t_arm = None })
+          compiled)
+      sides
+  in
+  { p_harness = (module H : Harness_intf.HARNESS);
+    p_trials = trials;
+    p_horizon = horizon;
+    p_seed = seed;
+    p_control = control }
+
+let plan_of_trials ?seed ?horizon ?(control = false) ~trials
+    (module H : Harness_intf.HARNESS) =
+  { p_harness = (module H : Harness_intf.HARNESS);
+    p_trials = trials;
+    p_horizon = Option.value horizon ~default:H.default_horizon;
+    p_seed = Option.value seed ~default:H.default_seed;
+    p_control = control }
 
 let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
-    ?(capture_trace = false) ?script ?compiled ?(oracles = []) fault =
+    ?(capture_trace = false) ?script ?compiled ?(oracles = []) ?arm fault =
   let env = H.build ~seed in
   let pfi = H.pfi env in
   (* precedence: explicit source bytes (replay installs the recorded
@@ -100,6 +148,7 @@ let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
    | Both_filters ->
      Pfi_core.Pfi_layer.set_send_filter_compiled pfi compiled;
      Pfi_core.Pfi_layer.set_receive_filter_compiled pfi compiled);
+  (match arm with Some f -> f (H.sim env) pfi | None -> ());
   H.workload env;
   let sim = H.sim env in
   Sim.run ~until:horizon sim;
@@ -123,45 +172,52 @@ let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
     sim_events = Sim.events sim;
     trace = (if capture_trace then Some (Sim.trace sim) else None) }
 
-let run_planned (module H : Harness_intf.HARNESS)
-    ?(executor = Executor.sequential) ?(capture_traces = false) ?oracles
-    ~horizon trials =
-  Executor.map executor
-    (fun tr ->
-      run_trial
-        (module H : Harness_intf.HARNESS)
-        ~side:tr.t_side ~horizon ~seed:tr.t_seed ~capture_trace:capture_traces
-        ~compiled:tr.t_script ?oracles tr.t_fault)
-    trials
+type summary = {
+  s_outcomes : outcome list;
+  s_control_trace : Trace.t option;
+}
 
-let control_trial (module H : Harness_intf.HARNESS) ?on_control
-    ?(oracles = []) ~horizon ~seed () =
+let control_trial (module H : Harness_intf.HARNESS) ~observer ~horizon ~seed () =
   let env = H.build ~seed in
   H.workload env;
   Sim.run ~until:horizon (H.sim env);
   let checked =
     match H.check env with
     | Error _ as e -> e
-    | Ok () -> Oracle.check oracles (Sim.trace (H.sim env))
+    | Ok () -> Oracle.check observer.obs_oracles (Sim.trace (H.sim env))
   in
-  (match on_control with Some f -> f (H.sim env) | None -> ());
+  let trace =
+    if observer.obs_traces then Some (Sim.trace (H.sim env)) else None
+  in
   match checked with
-  | Ok () -> ()
+  | Ok () -> trace
   | Error reason -> raise (Control_failure reason)
 
-let run ?(sides = all_sides) ?seed ?executor ?capture_traces ?on_control
-    ?horizon ?oracles (module H : Harness_intf.HARNESS) () =
-  let seed = Option.value seed ~default:H.default_seed in
-  let horizon = Option.value horizon ~default:H.default_horizon in
-  control_trial
-    (module H : Harness_intf.HARNESS)
-    ?on_control ?oracles ~horizon ~seed ();
-  plan ~sides ~seed ~target:H.target ~spec:H.spec ()
-  |> run_planned
-       (module H : Harness_intf.HARNESS)
-       ?executor ?capture_traces ?oracles ~horizon
+let run ?(executor = Executor.sequential) ?(observe = silent) plan =
+  let (module H : Harness_intf.HARNESS) = plan.p_harness in
+  let control_trace =
+    if plan.p_control then
+      control_trial
+        (module H : Harness_intf.HARNESS)
+        ~observer:observe ~horizon:plan.p_horizon ~seed:plan.p_seed ()
+    else None
+  in
+  let outcomes =
+    Executor.map executor
+      (fun tr ->
+        run_trial
+          (module H : Harness_intf.HARNESS)
+          ~side:tr.t_side ~horizon:plan.p_horizon ~seed:tr.t_seed
+          ~capture_trace:observe.obs_traces ~compiled:tr.t_script
+          ~oracles:observe.obs_oracles ?arm:tr.t_arm tr.t_fault)
+      plan.p_trials
+  in
+  (match observe.obs_outcome with
+   | Some f -> List.iter2 f plan.p_trials outcomes
+   | None -> ());
+  { s_outcomes = outcomes; s_control_trace = control_trace }
 
-let summary outcomes =
+let table outcomes =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf "%-44s %-8s %-9s %s\n" "fault" "side" "events" "verdict");

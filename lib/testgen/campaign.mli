@@ -19,7 +19,12 @@
     artifact, and — because trials share no state — the whole campaign
     can be executed by any {!Executor.t} (including the multicore
     domain pool) with byte-identical results: outcomes always come
-    back in canonical {!plan} order, whatever the worker count. *)
+    back in canonical {!plan} order, whatever the worker count.
+
+    There is one entrypoint: build a {!plan} (either the stock
+    generated fault set via {!plan}, or an explicit trial list via
+    {!plan_of_trials} — the fuzzer's path), choose what to observe
+    with an {!observer}, and {!run} it. *)
 
 open Pfi_engine
 
@@ -39,8 +44,8 @@ type outcome = {
       (** simulator callbacks fired by the trial ({!Sim.events}) — the
           engine benchmark's events/sec numerator *)
   trace : Trace.t option;
-      (** the trial sim's full trace, kept when the trial ran with
-          [capture_trace]; [None] otherwise *)
+      (** the trial sim's full trace, kept when the observer asked for
+          traces; [None] otherwise *)
 }
 
 type trial = {
@@ -50,6 +55,12 @@ type trial = {
   t_script : Pfi_script.Ast.script;
       (** the fault's filter, compiled once per (campaign, fault) by
           {!plan} and shared by value across sides and executor domains *)
+  t_arm : (Sim.t -> Pfi_core.Pfi_layer.t -> unit) option;
+      (** extra per-trial arming hook, run after the filter is
+          installed and before the workload starts; the fuzzer uses it
+          to schedule fault-window clears ([Pfi_layer.clear_*]) at a
+          mutated virtual time.  Must only touch the trial's own sim
+          and PFI layer (trials share no state). *)
 }
 (** One campaign trial descriptor: everything an {!Executor.t} worker
     needs to run the trial on a fresh system of its own. *)
@@ -76,56 +87,124 @@ val trial_seed : campaign_seed:int64 -> side:side -> Generator.fault -> int64
     fault's {!Generator.fault_key} and the side.  Pure, so a recorded
     trial replays identically and sibling trials cannot perturb it. *)
 
+val trial_seed_of_key : campaign_seed:int64 -> side:side -> int64 -> int64
+(** {!trial_seed} with the fault identity already folded to a 64-bit
+    key.  The fuzzer derives trial seeds from the key of a whole
+    multi-fault input; for a single fault,
+    [trial_seed_of_key ~campaign_seed ~side (Generator.fault_key f)]
+    equals [trial_seed ~campaign_seed ~side f], so shrunk single-fault
+    findings replay through the stock campaign machinery. *)
+
+(** {1 Observers}
+
+    What a {!run} should watch, stated as data instead of threaded
+    optional arguments.  The CLI's [--trace-out], the scenario
+    checker's oracle rows and the fuzzer's coverage loop all consume
+    the same record. *)
+
+type observer = {
+  obs_traces : bool;
+      (** keep each trial sim's {!Trace.t} on its outcome (and the
+          control trial's trace on the summary) *)
+  obs_oracles : Oracle.t list;
+      (** extra conformance predicates evaluated over every trial
+          trace after the harness's own [check]; the first failing
+          oracle turns the verdict into a [Violation] carrying its
+          pointed diagnostic *)
+  obs_outcome : (trial -> outcome -> unit) option;
+      (** called once per trial, in canonical plan order, after all
+          trials ran — streaming front ends (trace export, fuzz
+          feedback) hang here.  Runs on the calling domain. *)
+}
+
+val observe :
+  ?traces:bool ->
+  ?oracles:Oracle.t list ->
+  ?outcome:(trial -> outcome -> unit) ->
+  unit ->
+  observer
+(** Observer constructor; all fields default to off/empty. *)
+
+val silent : observer
+(** [observe ()] — no traces, no extra oracles, no callback.  The
+    default for {!run}. *)
+
+(** {1 Plans} *)
+
+type plan = {
+  p_harness : Harness_intf.packed;
+  p_trials : trial list;  (** canonical order *)
+  p_horizon : Vtime.t;
+  p_seed : int64;  (** the campaign seed trials were derived from *)
+  p_control : bool;
+      (** run the fault-free control trial before the faulted ones *)
+}
+
 val plan :
-  ?sides:side list -> ?seed:int64 -> ?target:string -> spec:Spec.t -> unit ->
-  trial list
-(** The campaign's canonical trial list: every generated fault on every
+  ?sides:side list -> ?seed:int64 -> ?horizon:Vtime.t -> ?control:bool ->
+  Harness_intf.packed -> plan
+(** The stock campaign plan: every generated fault
+    ({!Generator.campaign} over the harness spec and target) on every
     requested side (default {!all_sides}), each with its derived
-    {!trial_seed}.  Summaries, trace exports and repro artifacts follow
-    this order regardless of which executor ran the trials. *)
+    {!trial_seed}.  Each fault's filter script is compiled once and
+    shared by every (side, executor-domain) trial that runs it.
+    Defaults: the harness's [default_seed] and [default_horizon];
+    [control] defaults to [true].  Summaries, trace exports and repro
+    artifacts follow the plan's trial order regardless of which
+    executor ran the trials. *)
+
+val plan_of_trials :
+  ?seed:int64 -> ?horizon:Vtime.t -> ?control:bool ->
+  trials:trial list -> Harness_intf.packed -> plan
+(** A plan over an explicit trial list — the fuzzer's entrypoint
+    (mutated inputs are not the stock fault set).  [control] defaults
+    to [false]: callers evaluating many small batches against one
+    harness don't want a control trial per batch. *)
+
+val trial :
+  ?arm:(Sim.t -> Pfi_core.Pfi_layer.t -> unit) ->
+  ?script:Pfi_script.Ast.script ->
+  seed:int64 -> side:side -> Generator.fault -> trial
+(** Trial constructor.  [script] defaults to compiling the fault's
+    generated filter source. *)
+
+(** {1 Running} *)
 
 val run_trial :
   Harness_intf.packed -> side:side -> horizon:Vtime.t -> seed:int64 ->
   ?capture_trace:bool -> ?script:string -> ?compiled:Pfi_script.Ast.script ->
-  ?oracles:Oracle.t list -> Generator.fault -> outcome
+  ?oracles:Oracle.t list ->
+  ?arm:(Sim.t -> Pfi_core.Pfi_layer.t -> unit) ->
+  Generator.fault -> outcome
 (** One isolated trial.  [script] overrides the generated filter text —
     replay installs the recorded script bytes rather than regenerating
     them, so an artifact stays reproducible even if the generator's
     templates later change.  [compiled] (used when [script] is absent)
     installs an already-compiled filter, the campaign hot path: {!plan}
     compiles each fault once and every trial shares the AST.  With
-    neither, the generated source is compiled here.
-    [capture_trace] keeps the trial sim's
-    {!Trace.t} on the outcome (default false).  [oracles] are extra
-    {!Oracle.t} conformance predicates evaluated over the trial trace
-    after the harness's own [check]; the first failing oracle turns the
-    verdict into a [Violation] carrying its pointed diagnostic, so a
-    campaign's service guarantee can be stated as data rather than an
-    ad-hoc closure — and shrink/replay handle such violations with no
-    extra plumbing. *)
+    neither, the generated source is compiled here.  [arm] is the
+    trial's {!trial.t_arm} hook.  [capture_trace] keeps the trial sim's
+    {!Trace.t} on the outcome (default false).  [oracles] are evaluated
+    after the harness's own [check]. *)
 
-val run_planned :
-  Harness_intf.packed -> ?executor:Executor.t -> ?capture_traces:bool ->
-  ?oracles:Oracle.t list -> horizon:Vtime.t -> trial list -> outcome list
-(** Executes an explicit trial list through an executor (default
-    {!Executor.sequential}).  Outcomes are returned in trial-list
-    order for any executor.  A trial whose runner raised re-raises
-    after every other trial has completed. *)
+type summary = {
+  s_outcomes : outcome list;  (** in plan order *)
+  s_control_trace : Trace.t option;
+      (** the control trial's trace, when the plan ran a control and
+          the observer asked for traces *)
+}
 
-val run :
-  ?sides:side list -> ?seed:int64 -> ?executor:Executor.t ->
-  ?capture_traces:bool -> ?on_control:(Sim.t -> unit) -> ?horizon:Vtime.t ->
-  ?oracles:Oracle.t list -> Harness_intf.packed -> unit -> outcome list
-(** The whole campaign: {!plan} then {!run_planned}, using the
-    harness's spec, target, default horizon and default seed unless
-    overridden.  Also runs one fault-free control trial first — on the
-    calling domain, seeded with the campaign seed — and raises
-    {!Control_failure} if the oracle rejects it (a broken harness would
-    make every verdict meaningless).  [on_control] receives the control
-    trial's sim after it ran (front ends use it to export the control
-    trace). *)
+val run : ?executor:Executor.t -> ?observe:observer -> plan -> summary
+(** The single campaign entrypoint.  Runs the plan's control trial (if
+    [p_control]) on the calling domain seeded with the campaign seed —
+    raising {!Control_failure} if the harness check or an observer
+    oracle rejects the fault-free system — then every planned trial
+    through the executor (default {!Executor.sequential}).  Outcomes
+    come back in plan order for any executor; [obs_outcome] fires in
+    that same order on the calling domain.  A trial whose runner raised
+    re-raises after every other trial has completed. *)
 
-val summary : outcome list -> string
+val table : outcome list -> string
 (** Human-readable table of outcomes. *)
 
 val violations : outcome list -> outcome list

@@ -1,0 +1,132 @@
+open Pfi_engine
+
+let map_bits = 65536
+
+(* FNV-1a 64-bit, the same construction Generator.fault_key uses. *)
+let hash64 s =
+  let offset_basis = 0xCBF29CE484222325L and prime = 0x100000001B3L in
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let bucket_of_string s = Int64.to_int (hash64 s) land (map_bits - 1)
+
+(* AFL-style log2 classes: exact for 0..3, then powers of two, capped. *)
+let hit_class n =
+  if n <= 3 then n
+  else if n < 8 then 4
+  else if n < 16 then 5
+  else if n < 32 then 6
+  else if n < 64 then 7
+  else if n < 128 then 8
+  else 9
+
+type features = int list (* sorted ascending, distinct *)
+
+let cardinality = List.length
+let feature_list fs = fs
+
+let match_count p trace =
+  List.fold_left
+    (fun n e -> if Oracle.pattern_matches p e then n + 1 else n)
+    0 (Trace.entries trace)
+
+let ordered_prefix ps trace =
+  let rec depth ps n = function
+    | [] -> n
+    | e :: rest -> (
+        match ps with
+        | [] -> n
+        | p :: ps' ->
+            if Oracle.pattern_matches p e then depth ps' (n + 1) rest
+            else depth ps n rest)
+  in
+  depth ps 0 (Trace.entries trace)
+
+let rec oracle_features i prefix o trace acc =
+  let v = Oracle.eval o trace in
+  let acc =
+    Printf.sprintf "ov:%s%d:%b" prefix i v.Oracle.pass :: acc
+  in
+  match o with
+  | Oracle.Count (p, _, _) | Oracle.Never p | Oracle.Eventually p ->
+      Printf.sprintf "on:%s%d:%d" prefix i (hit_class (match_count p trace))
+      :: acc
+  | Oracle.Ordered ps ->
+      Printf.sprintf "op:%s%d:%d" prefix i (ordered_prefix ps trace) :: acc
+  | Oracle.Within _ -> acc
+  | Oracle.All os | Oracle.Any os ->
+      let prefix = Printf.sprintf "%s%d." prefix i in
+      List.fold_left
+        (fun (j, acc) o -> (j + 1, oracle_features j prefix o trace acc))
+        (0, acc) os
+      |> snd
+
+let features_of_trace ?(states = []) ?(oracles = []) trace =
+  let strings = ref [] in
+  let add s = strings := s :: !strings in
+  (* (node, tag) presence and hit-count classes *)
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.entry) ->
+      let key = e.node ^ "\x00" ^ e.tag in
+      match Hashtbl.find_opt counts key with
+      | Some r -> incr r
+      | None ->
+          Hashtbl.add counts key (ref 1);
+          add ("nt:" ^ key))
+    (Trace.entries trace);
+  Hashtbl.iter
+    (fun key r -> add (Printf.sprintf "hc:%s:%d" key (hit_class !r)))
+    counts;
+  (* protocol-state labels and consecutive transitions *)
+  let seen_state = Hashtbl.create 16 in
+  List.iter
+    (fun lbl ->
+      if not (Hashtbl.mem seen_state lbl) then begin
+        Hashtbl.add seen_state lbl ();
+        add ("st:" ^ lbl)
+      end)
+    states;
+  let rec transitions = function
+    | a :: (b :: _ as rest) ->
+        add ("tr:" ^ a ^ "=>" ^ b);
+        transitions rest
+    | _ -> ()
+  in
+  transitions states;
+  (* oracle pass/fail and near-miss buckets *)
+  List.iteri (fun i o -> strings := oracle_features i "" o trace !strings) oracles;
+  List.sort_uniq compare (List.rev_map bucket_of_string !strings)
+
+type t = Bytes.t
+
+let create () = Bytes.make (map_bits / 8) '\000'
+
+let merge t fs =
+  List.fold_left
+    (fun fresh idx ->
+      let byte = idx lsr 3 and bit = 1 lsl (idx land 7) in
+      let v = Char.code (Bytes.get t byte) in
+      if v land bit = 0 then begin
+        Bytes.set t byte (Char.chr (v lor bit));
+        fresh + 1
+      end
+      else fresh)
+    0 fs
+
+let count t =
+  let n = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let v = ref (Char.code c) in
+      while !v <> 0 do
+        n := !n + (!v land 1);
+        v := !v lsr 1
+      done)
+    t;
+  !n

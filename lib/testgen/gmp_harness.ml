@@ -100,9 +100,51 @@ let harness ?(bugs = Gmd.no_bugs) () : Harness_intf.packed =
         then Error "daemons disagree on the final view"
         else Oracle.check trace_oracles (Sim.trace env.sim)
       | [] -> Error "no daemons"
+
+    (* The GMP trajectory is the sequence of membership phases each
+       daemon passed through: committed views (leader + membership,
+       with the run-specific gid normalised away) interleaved with
+       IN_TRANSITION entries.  Fuzz coverage distinguishes e.g. a run
+       that re-formed the full group from one that fragmented into
+       singletons. *)
+    let state_of_trace trace =
+      (* "gid=417 leader=1 ..." -> "gid=* leader=1 ...": the group id is
+         a fresh counter, so two otherwise-identical trajectories must
+         not hash differently *)
+      let normalise_gid d =
+        match String.index_opt d '=' with
+        | Some i when i >= 3 && String.sub d (i - 3) 3 = "gid" ->
+          let j = ref (i + 1) in
+          while
+            !j < String.length d
+            && (match d.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+          do
+            incr j
+          done;
+          String.sub d 0 (i + 1) ^ "*"
+          ^ String.sub d !j (String.length d - !j)
+        | _ -> d
+      in
+      let labels =
+        List.fold_left
+          (fun acc (e : Trace.entry) ->
+            match e.tag with
+            | "gmp.view" | "gmp.transition" | "gmp.singleton" ->
+              let label =
+                e.node ^ ":" ^ e.tag ^ " " ^ normalise_gid (Trace.detail e)
+              in
+              (match acc with
+               | prev :: _ when String.equal prev label -> acc
+               | _ -> label :: acc)
+            | _ -> acc)
+          [] (Trace.entries trace)
+      in
+      List.rev labels
   end)
 
 let run_campaign ?bugs ?seed ?executor () =
-  match Campaign.run ?seed ?executor (harness ?bugs ()) () with
-  | outcomes -> Ok outcomes
+  match
+    Campaign.run ?executor (Campaign.plan ?seed (harness ?bugs ()))
+  with
+  | summary -> Ok summary.Campaign.s_outcomes
   | exception Campaign.Control_failure reason -> Error reason

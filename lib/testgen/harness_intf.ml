@@ -49,9 +49,33 @@ module type HARNESS = sig
 
   val check : env -> (unit, string) result
   (** Service-guarantee oracle, evaluated after the horizon. *)
+
+  val state_of_trace : Trace.t -> string list
+  (** The protocol-state trajectory a recorded trial trace witnessed,
+      as human-readable labels in occurrence order (e.g. TCP
+      ["SYN_SENT -> ESTABLISHED"], ABP send-bit alternations, GMP view
+      compositions).  Fuzz coverage hashes consecutive label pairs into
+      features; future vendor-matrix oracles read the same hook.
+      Harnesses without a natural protocol FSM can use
+      {!default_state_of_trace}. *)
 end
 
 type packed = (module HARNESS)
+
+let default_state_of_trace trace =
+  (* generic fallback: the sequence of distinct "node:tag" steps, with
+     consecutive repeats collapsed so a burst of identical events is
+     one state visit rather than many *)
+  let labels =
+    List.fold_left
+      (fun acc (e : Trace.entry) ->
+        let label = e.node ^ ":" ^ e.tag in
+        match acc with
+        | prev :: _ when String.equal prev label -> acc
+        | _ -> label :: acc)
+      [] (Trace.entries trace)
+  in
+  List.rev labels
 
 let name (module H : HARNESS) = H.name
 let description (module H : HARNESS) = H.description
@@ -59,3 +83,4 @@ let spec (module H : HARNESS) = H.spec
 let target (module H : HARNESS) = H.target
 let default_horizon (module H : HARNESS) = H.default_horizon
 let default_seed (module H : HARNESS) = H.default_seed
+let state_of_trace (module H : HARNESS) trace = H.state_of_trace trace

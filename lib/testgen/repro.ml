@@ -63,6 +63,34 @@ module Json = struct
     write buf 0 v;
     Buffer.contents buf
 
+  (* compact single-line form, for JSONL streams *)
+  let to_line v =
+    let buf = Buffer.create 256 in
+    let rec go = function
+      | (Null | Bool _ | Int _ | Float _ | Str _) as scalar ->
+        write buf 0 scalar
+      | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Trace.add_json_string buf k;
+            Buffer.add_char buf ':';
+            go item)
+          fields;
+        Buffer.add_char buf '}'
+    in
+    go v;
+    Buffer.contents buf
+
   exception Bad of string
 
   let parse (s : string) : (t, string) result =

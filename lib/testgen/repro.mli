@@ -33,6 +33,10 @@ module Json : sig
   val to_string : t -> string
   (** Deterministic: same tree, same bytes. *)
 
+  val to_line : t -> string
+  (** Compact single-line form of the same tree (no newlines or
+      indentation), for JSONL streams.  Equally deterministic. *)
+
   val parse : string -> (t, string) result
 
   val member : string -> t -> t option

@@ -767,7 +767,7 @@ let injection_script inj =
        inject_up $probe"
       args inj.inj_mtype
 
-let run ?seed ?(capture_trace = false) sc =
+let run ?seed ?(observe = Campaign.silent) sc =
   let packed =
     match Registry.find sc.sc_harness with
     | Some h -> h
@@ -833,6 +833,20 @@ let run ?seed ?(capture_trace = false) sc =
             row_witness = v.Oracle.witness })
       sc.sc_checks
   in
+  (* observer oracles ride along as extra rows after the scenario's own
+     checks; line 0 marks them as caller-supplied, not file-borne *)
+  let rows =
+    rows
+    @ List.map
+        (fun o ->
+          let v = Oracle.eval o trace in
+          { row_line = 0;
+            row_desc = v.Oracle.oracle;
+            row_pass = v.Oracle.pass;
+            row_reason = v.Oracle.reason;
+            row_witness = v.Oracle.witness })
+        observe.Campaign.obs_oracles
+  in
   let failures = List.filter (fun r -> not r.row_pass) rows in
   let res_outcome =
     match (sc.sc_xfail, failures) with
@@ -854,6 +868,6 @@ let run ?seed ?(capture_trace = false) sc =
     res_rows = rows;
     res_xfail = sc.sc_xfail;
     res_outcome;
-    res_trace = (if capture_trace then Some trace else None) }
+    res_trace = (if observe.Campaign.obs_traces then Some trace else None) }
 
 let passed r = match r.res_outcome with Pass | Xfail -> true | Fail | Xpass -> false

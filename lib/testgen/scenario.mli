@@ -195,15 +195,23 @@ type result = {
   res_rows : row list;  (** one per [expect], in file order *)
   res_xfail : string option;
   res_outcome : outcome;
-  res_trace : Trace.t option;  (** kept when run with [capture_trace] *)
+  res_trace : Trace.t option;
+      (** kept when run with an observer asking for traces *)
 }
 
-val run : ?seed:int64 -> ?capture_trace:bool -> t -> result
+val run : ?seed:int64 -> ?observe:Campaign.observer -> t -> result
 (** Builds the harness system (seed priority: argument, then the
     scenario's [seed] directive, then the harness default), installs the
     fault scripts, schedules the injections, starts the workload, runs
     to the horizon and evaluates every [expect].  Deterministic: the
-    result is a pure function of (scenario, seed). *)
+    result is a pure function of (scenario, seed).
+
+    [observe] (default {!Campaign.silent}) is the same observer record
+    campaigns consume: [obs_traces] keeps the run's trace on
+    [res_trace], and each [obs_oracles] entry is evaluated over the
+    trace as an extra result row (line 0), after the scenario's own
+    [expect] rows.  [obs_outcome] does not apply (scenarios produce no
+    campaign outcome) and is ignored. *)
 
 val passed : result -> bool
 (** True for {!Pass} and {!Xfail}. *)

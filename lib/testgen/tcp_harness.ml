@@ -91,4 +91,26 @@ let harness ?(chunk_count = 12) () : Harness_intf.packed =
                 " (content differs)"
               else ""))
       else Ok ()
+
+    (* The TCP trajectory is the textbook FSM walk each endpoint took:
+       [tcp.state] details read "port=N STATE -> STATE"; the ephemeral
+       port is stripped so the labels depend only on the transition. *)
+    let state_of_trace trace =
+      let labels =
+        List.fold_left
+          (fun acc (e : Trace.entry) ->
+            let d = Trace.detail e in
+            let transition =
+              match String.index_opt d ' ' with
+              | Some i -> String.sub d (i + 1) (String.length d - i - 1)
+              | None -> d
+            in
+            let label = e.node ^ ":" ^ transition in
+            match acc with
+            | prev :: _ when String.equal prev label -> acc
+            | _ -> label :: acc)
+          []
+          (Trace.find ~tag:"tcp.state" trace)
+      in
+      List.rev labels
   end)

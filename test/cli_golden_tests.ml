@@ -53,6 +53,9 @@ let test_help_campaign () =
 let test_help_gen () =
   check_golden ~path:"golden/help_gen.expected" (run_cli [ "help"; "gen" ])
 
+let test_help_fuzz () =
+  check_golden ~path:"golden/help_fuzz.expected" (run_cli [ "help"; "fuzz" ])
+
 (* ------------------------------------------------------------------ *)
 (* `pfi_run gen` on the tiny fixed matrix: the generated file set and  *)
 (* manifest are pinned byte-for-byte, and generation is deterministic  *)
@@ -117,6 +120,7 @@ let suite =
     Alcotest.test_case "pfi_run help check golden" `Quick test_help_check;
     Alcotest.test_case "pfi_run help campaign golden" `Quick test_help_campaign;
     Alcotest.test_case "pfi_run help gen golden" `Quick test_help_gen;
+    Alcotest.test_case "pfi_run help fuzz golden" `Quick test_help_fuzz;
     Alcotest.test_case "pfi_run gen tiny corpus matches the goldens" `Quick
       test_gen_tiny_golden;
     Alcotest.test_case "pfi_run gen is deterministic across runs" `Quick

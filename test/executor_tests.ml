@@ -154,9 +154,9 @@ let test_of_jobs () =
 
 let campaign_bytes (module H : Harness_intf.HARNESS) jobs =
   let outcomes =
-    Campaign.run ~executor:(Executor.of_jobs jobs)
-      (module H : Harness_intf.HARNESS)
-      ()
+    (Campaign.run ~executor:(Executor.of_jobs jobs)
+       (Campaign.plan (module H : Harness_intf.HARNESS)))
+      .Campaign.s_outcomes
   in
   let artifacts =
     List.map
@@ -167,7 +167,7 @@ let campaign_bytes (module H : Harness_intf.HARNESS) jobs =
              ~campaign_seed:H.default_seed o))
       (Campaign.violations outcomes)
   in
-  Campaign.summary outcomes ^ String.concat "\n" artifacts
+  Campaign.table outcomes ^ String.concat "\n" artifacts
 
 let check_jobs_invariant name =
   let entry =
@@ -196,10 +196,11 @@ let test_campaign_traces_jobs_invariant () =
       (fun (o : Campaign.outcome) ->
         match o.Campaign.trace with
         | Some trace -> Pfi_engine.Trace.to_jsonl trace
-        | None -> Alcotest.fail "capture_traces left a trial untraced")
-      (Campaign.run ~executor:(Executor.of_jobs jobs) ~capture_traces:true
-         (Abp_harness.harness ~bug_ignore_ack_bit:true ())
-         ())
+        | None -> Alcotest.fail "the observer left a trial untraced")
+      (Campaign.run ~executor:(Executor.of_jobs jobs)
+         ~observe:(Campaign.observe ~traces:true ())
+         (Campaign.plan (Abp_harness.harness ~bug_ignore_ack_bit:true ())))
+        .Campaign.s_outcomes
   in
   Alcotest.(check (list string)) "per-trial traces identical at jobs=4"
     (traces 1) (traces 4)

@@ -86,7 +86,7 @@ let test_run_trial_script_override () =
 (* ------------------------------------------------------------------ *)
 
 let test_campaign_summary_deterministic () =
-  let run () = Campaign.summary (Abp_harness.run_campaign ~bug_ignore_ack_bit:true ()) in
+  let run () = Campaign.table (Abp_harness.run_campaign ~bug_ignore_ack_bit:true ()) in
   Alcotest.(check string) "byte-identical summaries" (run ()) (run ())
 
 let test_campaign_traces_deterministic () =
@@ -94,21 +94,21 @@ let test_campaign_traces_deterministic () =
      replacement for the old process-wide create hook: control trace
      first, then every trial trace in canonical plan order *)
   let capture () =
-    let control = ref "" in
-    let outcomes =
-      Campaign.run ~capture_traces:true
-        ~on_control:(fun sim -> control := Trace.to_jsonl (Sim.trace sim))
-        (Abp_harness.harness ~bug_ignore_ack_bit:true ())
-        ()
+    let summary =
+      Campaign.run
+        ~observe:(Campaign.observe ~traces:true ())
+        (Campaign.plan (Abp_harness.harness ~bug_ignore_ack_bit:true ()))
     in
-    !control
+    (match summary.Campaign.s_control_trace with
+     | Some trace -> Trace.to_jsonl trace
+     | None -> Alcotest.fail "observer left the control trial untraced")
     ^ String.concat ""
         (List.map
            (fun o ->
              match o.Campaign.trace with
              | Some trace -> Trace.to_jsonl trace
-             | None -> Alcotest.fail "capture_traces left a trial untraced")
-           outcomes)
+             | None -> Alcotest.fail "observer left a trial untraced")
+           summary.Campaign.s_outcomes)
   in
   let first = capture () in
   let second = capture () in
@@ -117,7 +117,9 @@ let test_campaign_traces_deterministic () =
 
 let test_side_permutation_leaves_verdicts () =
   let harness = Abp_harness.harness ~bug_ignore_ack_bit:true () in
-  let run sides = Campaign.run ~sides harness () in
+  let run sides =
+    (Campaign.run (Campaign.plan ~sides harness)).Campaign.s_outcomes
+  in
   let canon outcomes =
     List.sort compare
       (List.map
@@ -488,7 +490,7 @@ let tiny_abp_outcomes () =
 
 let test_golden_summary () =
   check_golden ~path:"golden/tiny_abp_summary.expected"
-    (Campaign.summary (tiny_abp_outcomes ()))
+    (Campaign.table (tiny_abp_outcomes ()))
 
 (* the JSONL escaping fix, end to end: a trace detail (and field value)
    carrying every byte 0x00-0xFF must emit parseable JSON — valid

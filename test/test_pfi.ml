@@ -9,6 +9,7 @@ let () =
       ("tcp-features", Tcp_feature_tests.suite);
       ("gmp", Gmp_tests.suite);
       ("testgen", Testgen_tests.suite);
+      ("fuzz", Fuzz_tests.suite);
       ("executor", Executor_tests.suite);
       ("repro", Repro_tests.suite);
       ("experiments", Experiments_tests.suite);

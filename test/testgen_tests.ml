@@ -188,18 +188,18 @@ let test_campaign_shape () =
    performs during evaluation are excluded by using a bracket-free
    filter for the run-side assertion. *)
 let test_campaign_parse_count () =
-  let before = Pfi_script.Parser.parse_count () in
-  let trials = Campaign.plan ~spec:Spec.abp ~target:"bob" () in
-  let after_plan = Pfi_script.Parser.parse_count () in
-  let faults = List.length (Generator.campaign ~target:"bob" Spec.abp) in
-  Alcotest.(check int) "plan parses each fault script once (not once per trial)"
-    faults (after_plan - before);
-  Alcotest.(check bool) "plan has more trials than faults" true
-    (List.length trials > faults);
-  (* a planned trial's script arrives compiled: no re-parse at install *)
   let (module H : Harness_intf.HARNESS) =
     Option.get (Registry.find "abp")
   in
+  let before = Pfi_script.Parser.parse_count () in
+  let plan = Campaign.plan (module H : Harness_intf.HARNESS) in
+  let after_plan = Pfi_script.Parser.parse_count () in
+  let faults = List.length (Generator.campaign ~target:H.target H.spec) in
+  Alcotest.(check int) "plan parses each fault script once (not once per trial)"
+    faults (after_plan - before);
+  Alcotest.(check bool) "plan has more trials than faults" true
+    (List.length plan.Campaign.p_trials > faults);
+  (* a planned trial's script arrives compiled: no re-parse at install *)
   (* bracket-free no-op filter: evaluation parses no nested scripts *)
   let compiled = Pfi_script.Interp.compile "set unused 1" in
   let before_run = Pfi_script.Parser.parse_count () in
@@ -224,7 +224,10 @@ let test_tcp_campaign_hyphenated_mtype () =
   let (module H : Harness_intf.HARNESS) =
     Option.get (Registry.find "tcp")
   in
-  let outcomes = Campaign.run (module H : Harness_intf.HARNESS) () in
+  let outcomes =
+    (Campaign.run (Campaign.plan (module H : Harness_intf.HARNESS)))
+      .Campaign.s_outcomes
+  in
   Alcotest.(check int) "all tcp trials ran" 120 (List.length outcomes);
   Alcotest.(check bool) "campaign exercises SYN-ACK faults" true
     (List.exists
