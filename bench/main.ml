@@ -12,7 +12,12 @@
                                  engine macro-benchmark: every stock
                                  campaign at --jobs 1/2/4/8 plus the
                                  .pfis corpus; writes BENCH_engine.json
-                                 (default OUT) and prints the table *)
+                                 (default OUT) and prints the table
+     bench/main.exe compare BASELINE NEW
+                                 regression gate: per-harness jobs=1
+                                 trials/sec and alloc deltas between two
+                                 macro-benchmark JSON files; exits 1 if
+                                 any harness regressed more than 20% *)
 
 open Pfi_experiments
 
@@ -337,6 +342,96 @@ let run_macro args =
   Printf.printf "wrote %s\n%!" out
 
 (* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Compares two macro-benchmark JSON files (a committed baseline vs a
+   fresh run) on the numbers that are stable enough to gate on: per-
+   harness trials/sec at jobs=1 (parallel widths are scheduling- and
+   host-dependent) and allocated words per trial.  CI fails the build
+   when any harness loses more than [regression_threshold] of its
+   baseline throughput. *)
+
+let regression_threshold = 0.20
+
+let run_compare baseline_file new_file =
+  let module J = Pfi_testgen.Repro.Json in
+  let load file =
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match J.parse s with
+    | Ok j -> j
+    | Error e -> failwith (Printf.sprintf "%s: parse error: %s" file e)
+  in
+  let campaigns j =
+    match J.member "campaigns" j with
+    | Some (J.List l) -> l
+    | _ -> failwith "no campaigns array"
+  in
+  let harness c = Option.bind (J.member "harness" c) J.to_str in
+  let tps1 c =
+    Option.bind (J.member "trials_per_sec" c) (fun o ->
+        Option.bind (J.member "1" o) J.to_float)
+  in
+  let alloc c = Option.bind (J.member "alloc_words_per_trial" c) J.to_float in
+  let base = load baseline_file and fresh = load new_file in
+  let fresh_by_name =
+    List.filter_map
+      (fun c -> Option.map (fun n -> (n, c)) (harness c))
+      (campaigns fresh)
+  in
+  Printf.printf "== bench compare: %s -> %s (jobs=1) ==\n" baseline_file
+    new_file;
+  Printf.printf "%-12s %12s %12s %8s   %14s %14s %8s\n" "harness"
+    "base tri/s" "new tri/s" "delta" "base w/tri" "new w/tri" "delta";
+  let failures = ref [] in
+  List.iter
+    (fun bc ->
+      match harness bc with
+      | None -> ()
+      | Some name ->
+        (match (List.assoc_opt name fresh_by_name, tps1 bc) with
+         | None, _ ->
+           failures := Printf.sprintf "%s: missing from %s" name new_file
+                       :: !failures
+         | Some nc, Some base_tps ->
+           let new_tps = Option.value (tps1 nc) ~default:0. in
+           let delta =
+             if base_tps > 0. then (new_tps -. base_tps) /. base_tps else 0.
+           in
+           let pct x = 100. *. x in
+           let alloc_cell v =
+             match v with Some a -> Printf.sprintf "%14.0f" a
+             | None -> Printf.sprintf "%14s" "-"
+           in
+           let alloc_delta =
+             match (alloc bc, alloc nc) with
+             | Some a, Some b when a > 0. ->
+               Printf.sprintf "%+7.1f%%" (pct ((b -. a) /. a))
+             | _ -> "       -"
+           in
+           Printf.printf "%-12s %12.1f %12.1f %+7.1f%%   %s %s %s\n" name
+             base_tps new_tps (pct delta)
+             (alloc_cell (alloc bc))
+             (alloc_cell (alloc nc))
+             alloc_delta;
+           if delta < -.regression_threshold then
+             failures :=
+               Printf.sprintf "%s: trials/sec regressed %.1f%% (limit %.0f%%)"
+                 name (pct (-.delta))
+                 (pct regression_threshold)
+               :: !failures
+         | Some _, None -> ()))
+    (campaigns base);
+  match List.rev !failures with
+  | [] -> Printf.printf "compare: OK (threshold %.0f%%)\n"
+            (100. *. regression_threshold)
+  | fs ->
+    List.iter (fun f -> Printf.printf "compare: FAIL: %s\n" f) fs;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Array.to_list Sys.argv with
@@ -347,4 +442,8 @@ let () =
   | _ :: [ "tables" ] -> run_all_artifacts ()
   | _ :: [ "scaling" ] -> run_scaling ()
   | _ :: "macro" :: args -> run_macro args
+  | _ :: [ "compare"; baseline; fresh ] -> run_compare baseline fresh
+  | _ :: "compare" :: _ ->
+    prerr_endline "usage: bench/main.exe compare BASELINE NEW";
+    exit 2
   | _ :: names -> List.iter run_artifact names

@@ -128,6 +128,16 @@ module Copts = struct
          repro artifact per minimized finding, and corpus.txt listing \
          every coverage-increasing input in discovery order." }
 
+  let stats =
+    { flag = "stats";
+      docv = "";
+      doc =
+        "Print scheduling and allocation counters after the run: per-worker \
+         executor utilization (claims, trials, busy fraction) plus GC words \
+         allocated on the calling domain and arena-recycled trials.  Purely \
+         observational — the numbers vary with $(b,--jobs) and machine \
+         load, while the results stay byte-identical." }
+
   (* which subcommand carries which options — the single source the
      Cmdliner terms and `pfi_run help <cmd>` are both generated from.
      The last field lists deprecation notes: forms that still parse (or
@@ -145,7 +155,7 @@ module Copts = struct
       ("msc", "", "Print the paper's global-error-counter ladder diagram.",
        [ seed; trace_out; json ], []);
       ("campaign", "TARGET", "Run a generated fault-injection campaign.",
-       [ seed; trace_out; json; jobs; repro_dir ], []);
+       [ seed; trace_out; json; jobs; repro_dir; stats ], []);
       ("shrink", "FILE", "Minimize a violating repro artifact.",
        [ seed; trace_out; json; jobs; output; max_trials ], []);
       ("replay", "FILE", "Deterministically re-execute a repro artifact.",
@@ -161,7 +171,7 @@ module Copts = struct
        "Coverage-guided fault fuzzing: mutate fault scripts and injection \
         schedules, keep inputs that reach new trace coverage, minimize and \
         deduplicate every violation into a findings stream.",
-       [ seed; trace_out; json; jobs; budget; corpus ], []) ]
+       [ seed; trace_out; json; jobs; budget; corpus; stats ], []) ]
 
   (* Cmdliner terms, generated from the specs *)
   let flag_term spec = Arg.(value & flag & info [ spec.flag ] ~doc:spec.doc)
@@ -192,6 +202,7 @@ module Copts = struct
   let manifest_term = opt_term Arg.string manifest
   let budget_term = opt_term Arg.int budget
   let corpus_term = opt_term Arg.string corpus
+  let stats_term = flag_term stats
 end
 
 (* `pfi_run help [CMD]`: print the normalized option table *)
@@ -565,17 +576,81 @@ let outcome_json (o : Pfi_testgen.Campaign.outcome) =
       ("injected_events", Repro.Json.Int o.Campaign.injected_events);
       ("verdict", verdict_json o.Campaign.verdict) ]
 
+(* --stats: scheduling and allocation counters, printed after (and
+   separately from) the deterministic outputs so enabling the flag never
+   perturbs summaries, traces or artifacts. *)
+let alloc_words_now () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let exec_stats_json (st : Pfi_testgen.Executor.stats) ~alloc_words ~trials
+    ~arena_trials =
+  let open Pfi_testgen in
+  let workers =
+    List.map
+      (fun (w : Executor.worker_stat) ->
+        Repro.Json.Obj
+          [ ("claims", Repro.Json.Int w.Executor.ws_claims);
+            ("items", Repro.Json.Int w.Executor.ws_items);
+            ("busy_s", Repro.Json.Float w.Executor.ws_busy_s) ])
+      st.Executor.st_workers
+  in
+  Repro.Json.Obj
+    [ ("stats",
+       Repro.Json.Obj
+         [ ("executor", json_str st.Executor.st_exec);
+           ("maps", Repro.Json.Int st.Executor.st_maps);
+           ("items", Repro.Json.Int st.Executor.st_items);
+           ("domains_spawned", Repro.Json.Int st.Executor.st_spawned);
+           ("elapsed_s", Repro.Json.Float st.Executor.st_elapsed_s);
+           ("workers", Repro.Json.List workers);
+           ("alloc_words", Repro.Json.Float alloc_words);
+           ("alloc_words_per_trial",
+            Repro.Json.Float
+              (if trials > 0 then alloc_words /. float_of_int trials
+               else 0.));
+           ("arena_recycled_trials", Repro.Json.Int arena_trials) ]) ]
+
+let print_exec_stats (st : Pfi_testgen.Executor.stats) ~alloc_words ~trials
+    ~arena_trials =
+  let open Pfi_testgen in
+  Printf.printf
+    "stats: executor %s — %d maps, %d items, %d domains spawned, %.3fs\n"
+    st.Executor.st_exec st.Executor.st_maps st.Executor.st_items
+    st.Executor.st_spawned st.Executor.st_elapsed_s;
+  List.iteri
+    (fun i (w : Executor.worker_stat) ->
+      let busy =
+        if st.Executor.st_elapsed_s > 0. then
+          100. *. w.Executor.ws_busy_s /. st.Executor.st_elapsed_s
+        else 0.
+      in
+      Printf.printf "  worker %d: %d claims, %d items, %.1f%% busy\n" i
+        w.Executor.ws_claims w.Executor.ws_items busy)
+    st.Executor.st_workers;
+  (* allocation and arena counters are per-domain: the figures below
+     cover the calling domain, i.e. everything at --jobs 1 and the
+     caller-as-worker share beyond that *)
+  Printf.printf
+    "  alloc: %.0f words on calling domain (%.0f/trial), arena recycled \
+     %d trials\n"
+    alloc_words
+    (if trials > 0 then alloc_words /. float_of_int trials else 0.)
+    arena_trials
+
 (* fault-injection campaigns from generated scripts; every violation
    can be written out as a self-contained, replayable repro artifact.
    Trials run through Executor.of_jobs: outcomes (and hence the summary,
    the JSONL trace export, and the artifacts) come back in canonical
    plan order for any worker count. *)
-let campaign which trace_out repro_dir seed jobs json =
+let campaign which trace_out repro_dir seed jobs json stats =
   let open Pfi_testgen in
   let (module H : Harness_intf.HARNESS) = registry_entry which in
   let campaign_seed = Option.value seed ~default:H.default_seed in
   let executor = Executor.of_jobs jobs in
   let oc = Option.map open_trace_out trace_out in
+  let arena0 = Arena.trials_served () in
+  let alloc0 = alloc_words_now () in
   (match
      Campaign.run ~executor
        ~observe:(Campaign.observe ~traces:(oc <> None) ())
@@ -591,6 +666,7 @@ let campaign which trace_out repro_dir seed jobs json =
      else
        Printf.printf "the fault-free control trial already fails: %s\n" reason
    | summary ->
+     let alloc_words = alloc_words_now () -. alloc0 in
      let outcomes = summary.Campaign.s_outcomes in
      if json then begin
        List.iter (fun o -> json_print (outcome_json o)) outcomes;
@@ -602,6 +678,14 @@ let campaign which trace_out repro_dir seed jobs json =
               ("executor", json_str (Executor.name executor)) ])
      end
      else print_string (Campaign.table outcomes);
+     if stats then begin
+       let trials = List.length outcomes + 1 (* + control *) in
+       let arena_trials = Arena.trials_served () - arena0 in
+       let st = summary.Campaign.s_exec in
+       if json then
+         json_print (exec_stats_json st ~alloc_words ~trials ~arena_trials)
+       else print_exec_stats st ~alloc_words ~trials ~arena_trials
+     end;
      (* the trace export walks control + trials in canonical order, so
         the JSONL bytes are independent of the worker count too *)
      (match oc with
@@ -656,7 +740,8 @@ let campaign_cmd =
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const campaign $ which $ Copts.trace_out_term $ Copts.repro_dir_term
-      $ Copts.seed_term $ Copts.jobs_term $ Copts.json_term)
+      $ Copts.seed_term $ Copts.jobs_term $ Copts.json_term
+      $ Copts.stats_term)
 
 let load_artifact file =
   match Pfi_testgen.Repro.load file with
@@ -863,16 +948,19 @@ let shrink_cmd =
    fault lattice, keep coverage-increasing inputs, minimize and dedupe
    violations.  Deterministic end-to-end: findings (and the findings
    JSONL) are byte-identical for any --jobs width. *)
-let fuzz which seed budget corpus_dir trace_out jobs json =
+let fuzz which seed budget corpus_dir trace_out jobs json stats =
   let open Pfi_testgen in
   let (module H : Harness_intf.HARNESS) = registry_entry which in
   let fuzz_seed = Option.value seed ~default:Campaign.default_seed in
   let budget = Option.value budget ~default:Fuzz.default_budget in
   let executor = Executor.of_jobs jobs in
+  let arena0 = Arena.trials_served () in
+  let alloc0 = alloc_words_now () in
   let res =
     Fuzz.run ~executor ~seed:fuzz_seed ~budget
       (module H : Harness_intf.HARNESS)
   in
+  let alloc_words = alloc_words_now () -. alloc0 in
   let finding_lines =
     List.map
       (fun fd -> Repro.Json.to_line (Fuzz.finding_json ~harness:H.name fd))
@@ -909,6 +997,14 @@ let fuzz which seed budget corpus_dir trace_out jobs json =
           (Campaign.side_name fd.Fuzz.fd_side)
           fd.Fuzz.fd_seed fd.Fuzz.fd_reason)
       res.Fuzz.r_findings
+  end;
+  if stats then begin
+    let trials = res.Fuzz.r_execs + res.Fuzz.r_shrink_execs in
+    let arena_trials = Arena.trials_served () - arena0 in
+    let st = Executor.stats executor in
+    if json then
+      json_print (exec_stats_json st ~alloc_words ~trials ~arena_trials)
+    else print_exec_stats st ~alloc_words ~trials ~arena_trials
   end;
   (match trace_out with
    | None -> ()
@@ -974,7 +1070,7 @@ let fuzz_cmd =
     Term.(
       const fuzz $ which $ Copts.seed_term $ Copts.budget_term
       $ Copts.corpus_term $ Copts.trace_out_term $ Copts.jobs_term
-      $ Copts.json_term)
+      $ Copts.json_term $ Copts.stats_term)
 
 (* ------------------------------------------------------------------ *)
 (* Scenario conformance scripts                                       *)

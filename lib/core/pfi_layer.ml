@@ -48,6 +48,11 @@ type t = {
   recv_interp : Interp.t;
   mutable send_script : Ast.script option;
   mutable recv_script : Ast.script option;
+  (* static skip-guards extracted from the scripts (see {!Guard}): when
+     a script is a single [if {[msg_type cur_msg] == "TYPE"} {...}],
+     messages of any other type bypass the interpreter entirely *)
+  mutable send_guard : Guard.t option;
+  mutable recv_guard : Guard.t option;
   mutable native_send : (string * (Message.t -> native_action)) list;
   mutable native_recv : (string * (Message.t -> native_action)) list;
   handles : (string, Message.t) Hashtbl.t;
@@ -447,13 +452,25 @@ let run_native filters msg =
   go filters
 
 let run_script t dir msg =
-  let interp, script =
+  let interp, script, guard =
     match dir with
-    | Send -> (t.send_interp, t.send_script)
-    | Receive -> (t.recv_interp, t.recv_script)
+    | Send -> (t.send_interp, t.send_script, t.send_guard)
+    | Receive -> (t.recv_interp, t.recv_script, t.recv_guard)
   in
   match script with
   | None -> V_pass, 0
+  | Some _
+    when (match guard with
+          | Some g ->
+            (* [msg_type] resolves to the stub before any proc lookup
+               (commands shadow procs), so evaluating it here is
+               exactly what the interpreter would do — and when the
+               type cannot match the expected literal, the single-[if]
+               script provably leaves the verdict untouched *)
+            Guard.value_may_skip (t.stub.Stubs.msg_type msg)
+              ~expect:g.Guard.g_expect
+          | None -> false) ->
+    (V_pass, 0)
   | Some compiled ->
     let ctx = { dir; cur = msg; verdict = V_pass; dups = 0 } in
     let saved = t.ctx in
@@ -576,6 +593,8 @@ let create ~sim ~node ?(name = "pfi") ?(stub = Stubs.raw) ?blackboard () =
       recv_interp = Script.create ();
       send_script = None;
       recv_script = None;
+      send_guard = None;
+      recv_guard = None;
       native_send = [];
       native_recv = [];
       handles = Hashtbl.create 16;
@@ -603,12 +622,32 @@ let create ~sim ~node ?(name = "pfi") ?(stub = Stubs.raw) ?blackboard () =
   Interp.set_global t.recv_interp "pfi_node" node;
   t
 
-let set_send_filter t src = t.send_script <- Some (Interp.compile src)
-let set_receive_filter t src = t.recv_script <- Some (Interp.compile src)
-let set_send_filter_compiled t script = t.send_script <- Some script
-let set_receive_filter_compiled t script = t.recv_script <- Some script
-let clear_send_filter t = t.send_script <- None
-let clear_receive_filter t = t.recv_script <- None
+(* a guard engages only for the one command the layer can evaluate
+   natively: the stub's [msg_type] on the in-flight message *)
+let guard_of script =
+  match Guard.analyze script with
+  | Some g when g.Guard.g_cmd = "msg_type" && g.Guard.g_arg = "cur_msg" ->
+    Some g
+  | _ -> None
+
+let set_send_filter_compiled t script =
+  t.send_script <- Some script;
+  t.send_guard <- guard_of script
+
+let set_receive_filter_compiled t script =
+  t.recv_script <- Some script;
+  t.recv_guard <- guard_of script
+
+let set_send_filter t src = set_send_filter_compiled t (Interp.compile src)
+let set_receive_filter t src = set_receive_filter_compiled t (Interp.compile src)
+
+let clear_send_filter t =
+  t.send_script <- None;
+  t.send_guard <- None
+
+let clear_receive_filter t =
+  t.recv_script <- None;
+  t.recv_guard <- None
 
 let eval_in t side src =
   let interp = match side with `Send -> t.send_interp | `Receive -> t.recv_interp in

@@ -175,6 +175,40 @@ let pop t =
     Some (top.time, top.value)
   end
 
+(* Callback form of [pop_until]: passes the entry straight to [k]
+   instead of boxing it in [Some (time, value)].  The driving loop in
+   {!Sim.run} pops every scheduled event exactly once, so the saved
+   tuple allocation is per-event. *)
+let pop_until_k t ~until k =
+  drain_dead t;
+  if t.len = 0 then false
+  else begin
+    let top = t.heap.(0) in
+    if Vtime.(top.time > until) then false
+    else begin
+      ignore (pop_top t);
+      top.h.state <- Fired;
+      t.live <- t.live - 1;
+      k top.time top.value;
+      true
+    end
+  end
+
+(* Forget every entry while keeping the backing array, so a reused
+   queue pushes without re-growing.  Surviving entries are marked
+   Cancelled first: a handle retained across the clear must stay inert
+   (a late [cancel] on it would otherwise corrupt the live count).
+   [next_seq] restarts at 0 — a cleared queue must order same-time
+   pushes exactly like a fresh one. *)
+let clear t =
+  for i = 0 to t.len - 1 do
+    let e = t.heap.(i) in
+    if e.h.state = Pending then e.h.state <- Cancelled
+  done;
+  t.len <- 0;
+  t.live <- 0;
+  t.next_seq <- 0
+
 let pop_until t ~until =
   drain_dead t;
   if t.len = 0 then None

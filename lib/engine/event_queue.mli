@@ -50,3 +50,17 @@ val pop_until : 'a t -> until:Vtime.t -> (Vtime.t * 'a) option
     or the earliest live event lies beyond [until].  Fuses {!peek_time}
     with {!pop} so the simulator loop inspects the heap top once per
     fired event instead of twice. *)
+
+val pop_until_k : 'a t -> until:Vtime.t -> (Vtime.t -> 'a -> unit) -> bool
+(** Callback form of {!pop_until}: applies the continuation to the
+    popped (time, value) and returns [true], or returns [false] without
+    removing anything.  Semantically identical, but avoids allocating
+    the option/tuple per fired event — the simulator's driving loop
+    uses this. *)
+
+val clear : 'a t -> unit
+(** Forget every entry while keeping the heap's backing storage, so a
+    reused queue pushes without re-growing.  Handles retained across a
+    clear become inert (as if cancelled), and the insertion sequence
+    restarts at zero: a cleared queue orders subsequent pushes exactly
+    like a fresh {!create}. *)

@@ -32,15 +32,36 @@ let default_seed : int64 Atomic.t = Atomic.make 1L
 
 let set_default_seed seed = Atomic.set default_seed seed
 
-let create ?seed () =
+(* Reusable backing storage for a simulation: the event heap and the
+   trace keep their grown capacity (and the trace its intern table)
+   across trials, so a trial arena rebuilds a sim without re-growing
+   either.  [create ?scratch] clears both, which restores the exact
+   observable state of freshly-created ones — see Event_queue.clear and
+   Trace.clear for the equivalence arguments. *)
+type scratch = {
+  sc_queue : (unit -> unit) Event_queue.t;
+  sc_trace : Trace.t;
+}
+
+let scratch () = { sc_queue = Event_queue.create (); sc_trace = Trace.create () }
+
+let create ?scratch ?seed () =
   let seed =
     match seed with Some s -> s | None -> Atomic.get default_seed
   in
+  let queue, trace =
+    match scratch with
+    | None -> (Event_queue.create (), Trace.create ())
+    | Some sc ->
+      Event_queue.clear sc.sc_queue;
+      Trace.clear sc.sc_trace;
+      (sc.sc_queue, sc.sc_trace)
+  in
   let t =
-    { queue = Event_queue.create ();
+    { queue;
       clock = Vtime.zero;
       root_rng = Rng.create ~seed;
-      trace = Trace.create ();
+      trace;
       stopping = false;
       events = 0;
       want_labels = false }
@@ -87,20 +108,23 @@ let stop t = t.stopping <- true
 
 let run ?(until = Vtime.infinity) ?(max_events = 10_000_000) t =
   t.stopping <- false;
-  let rec loop fired =
-    if fired >= max_events then
-      failwith "Sim.run: max_events exceeded (runaway simulation?)"
-    else if t.stopping then ()
-    else
-      match Event_queue.pop_until t.queue ~until with
-      | Some (time, callback) ->
-        t.clock <- time;
-        t.events <- t.events + 1;
-        callback ();
-        loop (fired + 1)
-      | None ->
-        (* either drained, or future events remain beyond the horizon;
-           in the latter case the clock parks at the horizon *)
-        if not (Event_queue.is_empty t.queue) then t.clock <- until
+  (* one continuation for the whole run: the callback form of pop saves
+     the [Some (time, callback)] box on every fired event *)
+  let fire time callback =
+    t.clock <- time;
+    t.events <- t.events + 1;
+    callback ()
   in
-  loop 0
+  let fired = ref 0 and running = ref true in
+  while !running do
+    if !fired >= max_events then
+      failwith "Sim.run: max_events exceeded (runaway simulation?)"
+    else if t.stopping then running := false
+    else if Event_queue.pop_until_k t.queue ~until fire then incr fired
+    else begin
+      (* either drained, or future events remain beyond the horizon;
+         in the latter case the clock parks at the horizon *)
+      if not (Event_queue.is_empty t.queue) then t.clock <- until;
+      running := false
+    end
+  done

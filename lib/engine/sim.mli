@@ -10,9 +10,26 @@ type t
 type handle
 (** A scheduled callback, for cancellation. *)
 
-val create : ?seed:int64 -> unit -> t
+type scratch
+(** Reusable backing storage for a simulation: an event heap and a
+    trace whose grown capacity (and intern table) survive across
+    simulations.  A trial arena allocates one per worker domain and
+    threads it through every {!create}, so back-to-back trials rebuild
+    their sims without re-growing either structure.  Not thread-safe:
+    a scratch belongs to one domain at a time. *)
+
+val scratch : unit -> scratch
+
+val create : ?scratch:scratch -> ?seed:int64 -> unit -> t
 (** [seed] defaults to the process-wide default seed ([1L] unless a
-    front end changed it via {!set_default_seed}). *)
+    front end changed it via {!set_default_seed}).
+
+    [scratch] donates recycled backing storage: the scratch's queue and
+    trace are cleared and adopted by the new simulation, which is then
+    observationally identical to one built without [scratch] — cleared
+    structures behave exactly like fresh ones (see {!Event_queue.clear}
+    and {!Trace.clear}).  The previous owner of the scratch must be
+    dead (its queue handles become inert and its trace empties). *)
 
 val now : t -> Vtime.t
 

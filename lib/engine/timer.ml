@@ -6,15 +6,12 @@ type t = {
   mutable handle : Sim.handle option;
   mutable deadline : Vtime.t option;
   mutable fired : int;
+  (* the closure handed to Sim.schedule, built once at creation so
+     every re-arm schedules the same physical closure instead of
+     allocating a fresh one (retransmit-style timers re-arm per
+     message) *)
+  mutable self_fire : unit -> unit;
 }
-
-let make sim ~name ~interval ~callback =
-  { sim; name; callback; interval; handle = None; deadline = None; fired = 0 }
-
-let create sim ~name ~callback = make sim ~name ~interval:None ~callback
-
-let create_periodic sim ~name ~interval ~callback =
-  make sim ~name ~interval:(Some interval) ~callback
 
 let disarm t =
   (match t.handle with None -> () | Some h -> Sim.cancel t.sim h);
@@ -35,7 +32,20 @@ let rec fire t =
 and arm t ~delay =
   disarm t;
   t.deadline <- Some (Vtime.add (Sim.now t.sim) (Vtime.max delay Vtime.zero));
-  t.handle <- Some (Sim.schedule t.sim ~delay (fun () -> fire t))
+  t.handle <- Some (Sim.schedule t.sim ~delay t.self_fire)
+
+let make sim ~name ~interval ~callback =
+  let t =
+    { sim; name; callback; interval; handle = None; deadline = None;
+      fired = 0; self_fire = ignore }
+  in
+  t.self_fire <- (fun () -> fire t);
+  t
+
+let create sim ~name ~callback = make sim ~name ~interval:None ~callback
+
+let create_periodic sim ~name ~interval ~callback =
+  make sim ~name ~interval:(Some interval) ~callback
 
 let is_armed t = t.handle <> None
 

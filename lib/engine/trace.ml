@@ -29,6 +29,7 @@ module Ivec = struct
 
   let get v i = v.a.(i)
   let length v = v.len
+  let reset v = v.len <- 0
 end
 
 (* Memo of the interned strings and index buckets resolved by the most
@@ -61,13 +62,16 @@ let create () =
     by_node_tag = Hashtbl.create 64;
     memo = None }
 
+(* Capacity-preserving: the entry store, the intern table and every
+   index bucket survive a clear so a reused trace records without
+   reallocating.  An empty bucket is indistinguishable from a missing
+   one ([lookup] substitutes a fresh empty vector for absent keys), so
+   a cleared trace is observationally identical to [create ()]. *)
 let clear t =
-  t.store <- [||];
   t.len <- 0;
-  Hashtbl.reset t.intern;
-  Hashtbl.reset t.by_node;
-  Hashtbl.reset t.by_tag;
-  Hashtbl.reset t.by_node_tag;
+  Hashtbl.iter (fun _ v -> Ivec.reset v) t.by_node;
+  Hashtbl.iter (fun _ v -> Ivec.reset v) t.by_tag;
+  Hashtbl.iter (fun _ v -> Ivec.reset v) t.by_node_tag;
   t.memo <- None
 
 let intern t s =

@@ -50,6 +50,12 @@ val record_lazy :
     that recorded it (or never). *)
 
 val clear : t -> unit
+(** Empties the trace while keeping its grown capacity: the entry
+    store, the string intern table and the index buckets all survive,
+    so a reused trace records without reallocating.  A cleared trace is
+    observationally identical to a fresh {!create} — same query
+    results, same {!to_jsonl} bytes for the same subsequent records —
+    which is what lets trial arenas recycle one trace across trials. *)
 
 val entries : t -> entry list
 (** In recording order. *)

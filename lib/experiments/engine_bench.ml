@@ -8,6 +8,8 @@ type campaign_bench = {
   cb_summary_digest : string;
   cb_wall : (int * float) list;
   cb_alloc_words_per_trial : float;
+  cb_exec : (int * Executor.stats) list;
+      (* per jobs width: the run's executor scheduling counters *)
 }
 
 type scenario_bench = {
@@ -61,24 +63,23 @@ let bench_campaign ~jobs name =
   let plan = Campaign.plan (module H : Harness_intf.HARNESS) in
   let run_at jobs =
     let t0 = Unix.gettimeofday () in
-    let outcomes =
-      (Campaign.run ~executor:(Executor.of_jobs jobs) plan).Campaign.s_outcomes
-    in
-    (outcomes, Unix.gettimeofday () -. t0)
+    let summary = Campaign.run ~executor:(Executor.of_jobs jobs) plan in
+    (summary.Campaign.s_outcomes, Unix.gettimeofday () -. t0,
+     summary.Campaign.s_exec)
   in
   (* the jobs = 1 pass doubles as the allocation probe *)
   let w0 = words_now () in
-  let base_outcomes, base_dt = run_at 1 in
+  let base_outcomes, base_dt, base_exec = run_at 1 in
   let alloc_words = words_now () -. w0 in
   let summary = Campaign.table base_outcomes in
   let digest = Digest.to_hex (Digest.string summary) in
   let trials = List.length base_outcomes in
-  let wall =
+  let timed =
     List.map
       (fun j ->
-        if j = 1 then (1, base_dt)
+        if j = 1 then (1, base_dt, base_exec)
         else begin
-          let outcomes, dt = run_at j in
+          let outcomes, dt, exec = run_at j in
           (* the PR-3 invariant, re-checked on every benchmark run:
              verdict output must not depend on the worker count *)
           if not (String.equal summary (Campaign.table outcomes)) then
@@ -86,7 +87,7 @@ let bench_campaign ~jobs name =
               (Printf.sprintf
                  "engine_bench: %s summary at jobs=%d differs from jobs=1"
                  name j);
-          (j, dt)
+          (j, dt, exec)
         end)
       jobs
   in
@@ -96,9 +97,10 @@ let bench_campaign ~jobs name =
     cb_sim_events =
       List.fold_left (fun acc o -> acc + o.Campaign.sim_events) 0 base_outcomes;
     cb_summary_digest = digest;
-    cb_wall = wall;
+    cb_wall = List.map (fun (j, dt, _) -> (j, dt)) timed;
     cb_alloc_words_per_trial =
-      (if trials = 0 then 0. else alloc_words /. float_of_int trials) }
+      (if trials = 0 then 0. else alloc_words /. float_of_int trials);
+    cb_exec = List.map (fun (j, _, exec) -> (j, exec)) timed }
 
 let bench_scenarios dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then None
@@ -209,7 +211,33 @@ let campaign_json ~include_timing cb =
         ("events_per_sec",
          json_rate_by_jobs cb.cb_wall (float_of_int cb.cb_sim_events));
         ("alloc_words_per_trial",
-         Repro.Json.Float cb.cb_alloc_words_per_trial) ]
+         Repro.Json.Float cb.cb_alloc_words_per_trial);
+        (* executor scheduling counters live in the timing-only section:
+           busy fractions and claim counts are wall-clock observations,
+           and the timing-free form must stay byte-stable across runs *)
+        ("executor",
+         Repro.Json.Obj
+           (List.map
+              (fun (j, (st : Executor.stats)) ->
+                ( string_of_int j,
+                  Repro.Json.Obj
+                    [ ("name", Repro.Json.Str st.Executor.st_exec);
+                      ("spawned", Repro.Json.Int st.Executor.st_spawned);
+                      ("workers",
+                       Repro.Json.List
+                         (List.map
+                            (fun (ws : Executor.worker_stat) ->
+                              Repro.Json.Obj
+                                [ ("claims", Repro.Json.Int ws.Executor.ws_claims);
+                                  ("items", Repro.Json.Int ws.Executor.ws_items);
+                                  ("busy_frac",
+                                   Repro.Json.Float
+                                     (if st.Executor.st_elapsed_s > 0. then
+                                        ws.Executor.ws_busy_s
+                                        /. st.Executor.st_elapsed_s
+                                      else 0.)) ])
+                            st.Executor.st_workers)) ] ))
+              cb.cb_exec)) ]
   in
   Repro.Json.Obj (base @ timing)
 

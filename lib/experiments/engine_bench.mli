@@ -30,6 +30,10 @@ type campaign_bench = {
   cb_wall : (int * float) list;  (** jobs → wall-clock seconds *)
   cb_alloc_words_per_trial : float;
       (** GC words allocated per trial during the [jobs = 1] run *)
+  cb_exec : (int * Pfi_testgen.Executor.stats) list;
+      (** jobs → that run's executor scheduling counters (claims,
+          per-worker items, busy time); timing-section-only in the
+          JSON, since busy fractions are wall-clock observations *)
 }
 
 type scenario_bench = {

@@ -70,6 +70,10 @@ type t = {
          court strangers — they proclaim to us) *)
   timers : (string, Timer.t) Hashtbl.t;
   callbacks : (string, unit -> unit) Hashtbl.t;
+  expect_names : (int, string) Hashtbl.t;
+      (* memoized "expect_<id>" timer names: one heartbeat receive per
+         peer per interval would otherwise sprintf a fresh name each
+         time *)
   mutable history : view list;  (* reversed *)
 }
 
@@ -141,7 +145,13 @@ let armed_timers t =
     t.timers []
   |> List.sort compare
 
-let expect_timer_name peer_id = Printf.sprintf "expect_%d" peer_id
+let expect_timer_name t peer_id =
+  match Hashtbl.find_opt t.expect_names peer_id with
+  | Some name -> name
+  | None ->
+    let name = Printf.sprintf "expect_%d" peer_id in
+    Hashtbl.add t.expect_names peer_id name;
+    name
 
 (* The unset-all-timeouts routine with the Table 8 bug: the NULL test is
    inverted, so asking for "all" cancels only the first expect timer. *)
@@ -219,7 +229,7 @@ let rec adopt_view t ~group_id ~members =
     t.timers;
   List.iter
     (fun m ->
-      set_timer t (expect_timer_name m) ~delay:t.config.hb_timeout (fun () ->
+      set_timer t (expect_timer_name t m) ~delay:t.config.hb_timeout (fun () ->
           expect_expired t m))
     members;
   (* keep proclaiming while there is someone to court (see
@@ -471,9 +481,20 @@ and handle_join t (m : Gmp_msg.t) =
 and handle_message t (m : Gmp_msg.t) =
   match m.Gmp_msg.mtype with
   | Gmp_msg.Heartbeat ->
-    if List.mem m.Gmp_msg.sender t.current.members && t.ph = Normal then
-      set_timer t (expect_timer_name m.Gmp_msg.sender) ~delay:t.config.hb_timeout
-        (fun () -> expect_expired t m.Gmp_msg.sender)
+    if List.mem m.Gmp_msg.sender t.current.members && t.ph = Normal then begin
+      let sender = m.Gmp_msg.sender in
+      let name = expect_timer_name t sender in
+      (* per-heartbeat hot path: the callback registered under an
+         expect name is semantically constant (expect_expired on that
+         peer), so once both tables hold the name a bare re-arm skips
+         the closure allocation and the two table writes *)
+      match Hashtbl.find_opt t.timers name with
+      | Some timer when Hashtbl.mem t.callbacks name ->
+        Timer.arm timer ~delay:t.config.hb_timeout
+      | _ ->
+        set_timer t name ~delay:t.config.hb_timeout
+          (fun () -> expect_expired t sender)
+    end
   | Gmp_msg.Proclaim -> handle_proclaim t m
   | Gmp_msg.Join -> handle_join t m
   | Gmp_msg.Membership_change ->
@@ -569,6 +590,7 @@ let create ~sim ~node ~id ~peers ?(config = default_config) () =
       ever_members = [ id ];
       timers = Hashtbl.create 16;
       callbacks = Hashtbl.create 16;
+      expect_names = Hashtbl.create 8;
       history = [] }
   in
   let l =

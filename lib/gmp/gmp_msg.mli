@@ -32,6 +32,11 @@ val make :
 val mtype_to_string : mtype -> string
 val mtype_of_string : string -> mtype option
 
+val mtype_code : mtype -> int
+val mtype_of_code : int -> mtype option
+(** The wire type-code byte (the first byte of an encoded message) —
+    for classifiers that inspect packets without a full {!decode}. *)
+
 val encode : t -> Bytes.t
 val decode : Bytes.t -> (t, string) result
 

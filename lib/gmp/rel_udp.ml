@@ -72,6 +72,37 @@ let inspect data =
     else if kind = kind_ack then Some (`Ack, seq, inner)
     else None
 
+(* Zero-allocation header validation for classification hot paths
+   (stub [msg_type] runs on every filtered message): same length and
+   checksum acceptance as {!unwrap}, but the checksum runs over the
+   payload bytes in place and nothing is copied out.  Returns the raw
+   (kind, seq) — the caller classifies the kind and may read the inner
+   payload directly at offset {!header_size}. *)
+let inspect_header data =
+  let n = Bytes.length data in
+  if n < header_size then None
+  else begin
+    let kind = Char.code (Bytes.unsafe_get data 0) in
+    let seq =
+      (Char.code (Bytes.unsafe_get data 1) lsl 24)
+      lor (Char.code (Bytes.unsafe_get data 2) lsl 16)
+      lor (Char.code (Bytes.unsafe_get data 3) lsl 8)
+      lor Char.code (Bytes.unsafe_get data 4)
+    in
+    let csum =
+      (Char.code (Bytes.unsafe_get data 5) lsl 8)
+      lor Char.code (Bytes.unsafe_get data 6)
+    in
+    let sum = ref (kind + (seq land 0xffff) + ((seq lsr 16) land 0xffff)) in
+    for i = header_size to n - 1 do
+      sum := !sum + Char.code (Bytes.unsafe_get data i)
+    done;
+    while !sum lsr 16 <> 0 do
+      sum := (!sum land 0xffff) + (!sum lsr 16)
+    done;
+    if lnot !sum land 0xffff <> csum then None else Some (kind, seq)
+  end
+
 let wrap_raw payload = wrap ~kind:kind_raw ~seq:0 payload
 
 let transmit t ~dst ~attrs wire =

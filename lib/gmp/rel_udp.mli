@@ -40,6 +40,18 @@ val inspect : Bytes.t -> ([ `Raw | `Data | `Ack ] * int * Bytes.t) option
     consuming it — used by packet stubs that must look through the rel
     header.  None on malformed input. *)
 
+val kind_raw : int
+val kind_data : int
+val kind_ack : int
+(** The wire kind bytes, for callers of {!inspect_header}. *)
+
+val inspect_header : Bytes.t -> (int * int) option
+(** Zero-allocation variant of {!inspect} for classification hot
+    paths: validates the length and checksum in place (same acceptance
+    as {!inspect}) and returns the raw (kind, seq) without copying the
+    inner payload out.  The caller may read the payload directly at
+    offset {!header_size}.  None on malformed input. *)
+
 val wrap_raw : Bytes.t -> Bytes.t
 (** Wraps a payload as an unreliable (raw) rel packet — for stubs that
     generate spontaneous messages below the reliable layer. *)

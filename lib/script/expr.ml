@@ -11,9 +11,17 @@ type value =
 (* Numeric literals and coercions                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Characters that can begin an OCaml int or float literal ('n'/'i'
+   for nan/inf).  Pre-checking the first byte means the common
+   non-numeric case ("HEARTBEAT", message-type names) skips both
+   try-based parses entirely. *)
+let number_start = function
+  | '0' .. '9' | '+' | '-' | '.' | 'n' | 'N' | 'i' | 'I' -> true
+  | _ -> false
+
 let parse_number s =
   let s = String.trim s in
-  if s = "" then None
+  if s = "" || not (number_start s.[0]) then None
   else
     match int_of_string_opt s with
     | Some i -> Some (Int i)

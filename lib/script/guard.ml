@@ -1,0 +1,69 @@
+type t = {
+  g_cmd : string;
+  g_arg : string;
+  g_expect : string;
+}
+
+(* plain identifier words: anything the tokenizer passes through
+   untouched and [expand_word] returns as-is *)
+let word_ok s =
+  s <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+(* The condition must be byte-exactly [[CMD ARG] == "LIT"].  Anything
+   else — extra whitespace shapes are fine to reject, generated
+   scripts are canonical — falls back to interpretation. *)
+let parse_cond cond =
+  let n = String.length cond in
+  if n = 0 || cond.[0] <> '[' then None
+  else
+    match String.index_opt cond ']' with
+    | None -> None
+    | Some close ->
+      let inner = String.sub cond 1 (close - 1) in
+      (match String.index_opt inner ' ' with
+       | None -> None
+       | Some sp ->
+         let cmd = String.sub inner 0 sp in
+         let arg = String.sub inner (sp + 1) (String.length inner - sp - 1) in
+         if not (word_ok cmd && word_ok arg) then None
+         else
+           let rest_off = close + 1 in
+           let mid = " == \"" in
+           let mid_len = String.length mid in
+           if
+             n - rest_off < mid_len + 1
+             || String.sub cond rest_off mid_len <> mid
+             || cond.[n - 1] <> '"'
+           then None
+           else
+             let lit_off = rest_off + mid_len in
+             let lit = String.sub cond lit_off (n - 1 - lit_off) in
+             if
+               String.contains lit '"'
+               || String.contains lit '\\'
+               || Expr.parse_number lit <> None
+             then None
+             else Some { g_cmd = cmd; g_arg = arg; g_expect = lit })
+
+let analyze (script : Ast.script) =
+  match script with
+  | [ [ head; Ast.Braced cond; Ast.Braced _body ] ] ->
+    let is_if =
+      match head with
+      | Ast.Tokens [ Ast.Lit "if" ] | Ast.Braced "if" -> true
+      | _ -> false
+    in
+    if is_if then parse_cond cond else None
+  | _ -> None
+
+let value_may_skip v ~expect =
+  (not (String.equal v expect))
+  && not
+       (String.exists
+          (function '{' | '}' | '\\' -> true | _ -> false)
+          v)

@@ -1,0 +1,48 @@
+(** Static guard extraction for single-condition filter scripts.
+
+    The generated fault scripts are overwhelmingly of the shape
+
+    {v if {[CMD ARG] == "LIT"} { BODY } v}
+
+    and on most messages the condition is false, so the whole
+    evaluation — substitution, expression parse, body skip — is spent
+    discovering that one string comparison fails.  {!analyze}
+    recognizes exactly that shape at compile time so a caller that can
+    compute [CMD ARG] natively (e.g. a packet stub's [msg_type]) may
+    skip interpretation entirely when the comparison cannot succeed.
+
+    Soundness requires the condition to be pure and its comparison to
+    be a plain string equality, so [analyze] refuses any shape it
+    cannot prove equivalent:
+
+    - the script must be a single 3-word [if] command (no [else] /
+      [elseif] arms: a false condition must evaluate to doing nothing);
+    - the condition must be literally [[CMD ARG] == "LIT"] with [CMD]
+      and [ARG] plain identifier words — no variable or nested command
+      substitution whose evaluation could have effects the skip would
+      lose (e.g. [[chance p]] draws from the trial RNG during
+      substitution);
+    - [LIT] must not parse as a number: [expr]'s [==] compares
+      numerically when both sides are numeric, so ["1"] would match a
+      computed ["1.0"] even though the strings differ.  A non-numeric
+      [LIT] reduces [==] to exact string equality.
+
+    The caller must still fall back to full interpretation when the
+    computed value equals [LIT] (the body must run) or when the value
+    contains brace/backslash bytes (the interpreter's quoting of such
+    values is its own business — let it happen). *)
+
+type t = {
+  g_cmd : string;  (** the command invoked, e.g. ["msg_type"] *)
+  g_arg : string;  (** its single literal argument, e.g. ["cur_msg"] *)
+  g_expect : string;  (** the non-numeric string literal compared against *)
+}
+
+val analyze : Ast.script -> t option
+(** [Some g] only for the provably-skippable shape above. *)
+
+val value_may_skip : string -> expect:string -> bool
+(** [value_may_skip v ~expect] — true when a computed condition value
+    [v] proves the guarded body cannot run: [v] differs from [expect]
+    and contains no byte whose brace-quoting the interpreter would
+    need to worry about.  False means "run the interpreter". *)

@@ -230,21 +230,36 @@ let subst_string t src = expand_tokens t (tokenized t src)
 (* For expr: substituted values that are not numeric literals are
    brace-quoted so the expression lexer reads them as string literals
    (mirrors Tcl, where expr re-parses $vars itself). *)
+let quote_value v =
+  match Expr.parse_number v with
+  | Some _ -> v
+  | None -> "{" ^ v ^ "}"
+
 let subst_expr t src =
-  let quote_value v =
-    match Expr.parse_number v with
-    | Some _ -> v
-    | None -> "{" ^ v ^ "}"
-  in
-  let buf = Buffer.create 32 in
-  List.iter
-    (fun token ->
-      match token with
-      | Ast.Lit s -> Buffer.add_string buf s
-      | Ast.Var_ref name -> Buffer.add_string buf (quote_value (get_var_exn t name))
-      | Ast.Cmd_sub script -> Buffer.add_string buf (quote_value (eval t script)))
-    (tokenized t src);
-  Buffer.contents buf
+  match tokenized t src with
+  (* shape fast paths: filter conditions are one or two tokens
+     ([msg_type cur_msg] == "TYPE", $var == 1, a bare literal), which
+     need a single concatenation instead of a Buffer *)
+  | [] -> ""
+  | [ Ast.Lit s ] -> s
+  | [ Ast.Var_ref name ] -> quote_value (get_var_exn t name)
+  | [ Ast.Cmd_sub script ] -> quote_value (eval t script)
+  | [ Ast.Cmd_sub script; Ast.Lit s ] -> quote_value (eval t script) ^ s
+  | [ Ast.Lit s; Ast.Cmd_sub script ] -> s ^ quote_value (eval t script)
+  | [ Ast.Var_ref name; Ast.Lit s ] -> quote_value (get_var_exn t name) ^ s
+  | [ Ast.Lit s; Ast.Var_ref name ] -> s ^ quote_value (get_var_exn t name)
+  | tokens ->
+    let buf = Buffer.create 32 in
+    List.iter
+      (fun token ->
+        match token with
+        | Ast.Lit s -> Buffer.add_string buf s
+        | Ast.Var_ref name ->
+          Buffer.add_string buf (quote_value (get_var_exn t name))
+        | Ast.Cmd_sub script ->
+          Buffer.add_string buf (quote_value (eval t script)))
+      tokens;
+    Buffer.contents buf
 
 let eval_expr t src =
   match cached t.expr_cache (subst_expr t src) Expr.eval with

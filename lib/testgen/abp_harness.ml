@@ -29,8 +29,8 @@ let harness ?(message_count = 20) ?(bug_ignore_ack_bit = false) () :
     let default_horizon = default_horizon
     let default_seed = Campaign.default_seed
 
-    let build ~seed =
-      let sim = Sim.create ~seed () in
+    let build ?scratch ~seed () =
+      let sim = Sim.create ?scratch ~seed () in
       let net = Network.create sim in
       let sender =
         Pfi_abp.Abp.create ~sim ~node:"alice" ~peer:"bob" ~bug_ignore_ack_bit ()

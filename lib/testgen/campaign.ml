@@ -130,8 +130,15 @@ let plan_of_trials ?seed ?horizon ?(control = false) ~trials
     p_control = control }
 
 let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
-    ?(capture_trace = false) ?script ?compiled ?(oracles = []) ?arm fault =
-  let env = H.build ~seed in
+    ?(capture_trace = false) ?(arena = true) ?script ?compiled ?(oracles = [])
+    ?arm fault =
+  (* the arena's trace/queue are recycled by the *next* trial on this
+     domain, so they may back this trial only if its trace does not
+     escape into the outcome *)
+  let scratch =
+    if arena && not capture_trace then Some (Arena.scratch ()) else None
+  in
+  let env = H.build ?scratch ~seed () in
   let pfi = H.pfi env in
   (* precedence: explicit source bytes (replay installs the recorded
      script even if generator templates changed) > an already-compiled
@@ -152,15 +159,15 @@ let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
   H.workload env;
   let sim = H.sim env in
   Sim.run ~until:horizon sim;
+  let trace = Sim.trace sim in
   let injected_events =
-    Trace.count ~tag:"testgen.fault" (Sim.trace sim)
-    + Trace.count ~tag:"pfi.log" (Sim.trace sim)
+    Trace.count ~tag:"testgen.fault" trace + Trace.count ~tag:"pfi.log" trace
   in
   let verdict =
     match H.check env with
     | Error reason -> Violation reason
     | Ok () ->
-      (match Oracle.check oracles (Sim.trace sim) with
+      (match Oracle.check oracles trace with
        | Ok () -> Tolerated
        | Error reason -> Violation reason)
   in
@@ -170,15 +177,16 @@ let run_trial (module H : Harness_intf.HARNESS) ~side ~horizon ~seed
     verdict;
     injected_events;
     sim_events = Sim.events sim;
-    trace = (if capture_trace then Some (Sim.trace sim) else None) }
+    trace = (if capture_trace then Some trace else None) }
 
 type summary = {
   s_outcomes : outcome list;
   s_control_trace : Trace.t option;
+  s_exec : Executor.stats;
 }
 
 let control_trial (module H : Harness_intf.HARNESS) ~observer ~horizon ~seed () =
-  let env = H.build ~seed in
+  let env = H.build ~seed () in
   H.workload env;
   Sim.run ~until:horizon (H.sim env);
   let checked =
@@ -193,7 +201,8 @@ let control_trial (module H : Harness_intf.HARNESS) ~observer ~horizon ~seed () 
   | Ok () -> trace
   | Error reason -> raise (Control_failure reason)
 
-let run ?(executor = Executor.sequential) ?(observe = silent) plan =
+let run ?(executor = Executor.sequential) ?(observe = silent) ?(arena = true)
+    plan =
   let (module H : Harness_intf.HARNESS) = plan.p_harness in
   let control_trace =
     if plan.p_control then
@@ -208,14 +217,16 @@ let run ?(executor = Executor.sequential) ?(observe = silent) plan =
         run_trial
           (module H : Harness_intf.HARNESS)
           ~side:tr.t_side ~horizon:plan.p_horizon ~seed:tr.t_seed
-          ~capture_trace:observe.obs_traces ~compiled:tr.t_script
+          ~capture_trace:observe.obs_traces ~arena ~compiled:tr.t_script
           ~oracles:observe.obs_oracles ?arm:tr.t_arm tr.t_fault)
       plan.p_trials
   in
   (match observe.obs_outcome with
    | Some f -> List.iter2 f plan.p_trials outcomes
    | None -> ());
-  { s_outcomes = outcomes; s_control_trace = control_trace }
+  { s_outcomes = outcomes;
+    s_control_trace = control_trace;
+    s_exec = Executor.stats executor }
 
 let table outcomes =
   let buf = Buffer.create 1024 in

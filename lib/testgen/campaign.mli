@@ -172,7 +172,8 @@ val trial :
 
 val run_trial :
   Harness_intf.packed -> side:side -> horizon:Vtime.t -> seed:int64 ->
-  ?capture_trace:bool -> ?script:string -> ?compiled:Pfi_script.Ast.script ->
+  ?capture_trace:bool -> ?arena:bool -> ?script:string ->
+  ?compiled:Pfi_script.Ast.script ->
   ?oracles:Oracle.t list ->
   ?arm:(Sim.t -> Pfi_core.Pfi_layer.t -> unit) ->
   Generator.fault -> outcome
@@ -185,16 +186,29 @@ val run_trial :
     neither, the generated source is compiled here.  [arm] is the
     trial's {!trial.t_arm} hook.  [capture_trace] keeps the trial sim's
     {!Trace.t} on the outcome (default false).  [oracles] are evaluated
-    after the harness's own [check]. *)
+    after the harness's own [check].
+
+    [arena] (default true) lets the trial adopt this domain's
+    {!Arena} scratch — recycled trace/event-queue storage — instead of
+    allocating fresh backing arrays.  Recycling is observationally
+    invisible (verdicts, event counts and trace queries are identical),
+    and it is automatically disabled when [capture_trace] is set, since
+    a kept trace must outlive the trial. *)
 
 type summary = {
   s_outcomes : outcome list;  (** in plan order *)
   s_control_trace : Trace.t option;
       (** the control trial's trace, when the plan ran a control and
           the observer asked for traces *)
+  s_exec : Executor.stats;
+      (** the executor's accumulated scheduling counters, snapshotted
+          after the trials ran — purely observational (never part of
+          {!table} or any digest), surfaced by [pfi_run --stats] and
+          the macro-benchmark's timing section *)
 }
 
-val run : ?executor:Executor.t -> ?observe:observer -> plan -> summary
+val run :
+  ?executor:Executor.t -> ?observe:observer -> ?arena:bool -> plan -> summary
 (** The single campaign entrypoint.  Runs the plan's control trial (if
     [p_control]) on the calling domain seeded with the campaign seed —
     raising {!Control_failure} if the harness check or an observer
@@ -202,7 +216,10 @@ val run : ?executor:Executor.t -> ?observe:observer -> plan -> summary
     through the executor (default {!Executor.sequential}).  Outcomes
     come back in plan order for any executor; [obs_outcome] fires in
     that same order on the calling domain.  A trial whose runner raised
-    re-raises after every other trial has completed. *)
+    re-raises after every other trial has completed.  [arena] is
+    {!run_trial}'s flag (default true: trials reuse per-domain scratch
+    whenever their traces are not kept; the control trial always
+    builds fresh). *)
 
 val table : outcome list -> string
 (** Human-readable table of outcomes. *)

@@ -31,21 +31,23 @@ let cardinality = List.length
 let feature_list fs = fs
 
 let match_count p trace =
-  List.fold_left
-    (fun n e -> if Oracle.pattern_matches p e then n + 1 else n)
-    0 (Trace.entries trace)
+  let n = ref 0 in
+  Trace.iteri (fun _ e -> if Oracle.pattern_matches p e then incr n) trace;
+  !n
 
 let ordered_prefix ps trace =
-  let rec depth ps n = function
-    | [] -> n
-    | e :: rest -> (
-        match ps with
-        | [] -> n
-        | p :: ps' ->
-            if Oracle.pattern_matches p e then depth ps' (n + 1) rest
-            else depth ps n rest)
-  in
-  depth ps 0 (Trace.entries trace)
+  let remaining = ref ps and n = ref 0 in
+  Trace.iteri
+    (fun _ e ->
+      match !remaining with
+      | [] -> ()
+      | p :: rest ->
+          if Oracle.pattern_matches p e then begin
+            remaining := rest;
+            incr n
+          end)
+    trace;
+  !n
 
 let rec oracle_features i prefix o trace acc =
   let v = Oracle.eval o trace in
@@ -66,25 +68,41 @@ let rec oracle_features i prefix o trace acc =
         (0, acc) os
       |> snd
 
-let features_of_trace ?(states = []) ?(oracles = []) trace =
+type scratch = {
+  cs_counts : (string, int ref) Hashtbl.t;
+  cs_seen : (string, unit) Hashtbl.t;
+}
+
+let scratch () = { cs_counts = Hashtbl.create 64; cs_seen = Hashtbl.create 16 }
+
+let features_of_trace ?scratch:sc ?(states = []) ?(oracles = []) trace =
   let strings = ref [] in
   let add s = strings := s :: !strings in
-  (* (node, tag) presence and hit-count classes *)
-  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun (e : Trace.entry) ->
+  (* (node, tag) presence and hit-count classes.  [Hashtbl.clear] (not
+     [reset]) keeps the grown bucket arrays, which is the point of the
+     scratch: the fuzzer extracts features from thousands of similar
+     traces on one domain. *)
+  let counts, seen_state =
+    match sc with
+    | Some s ->
+        Hashtbl.clear s.cs_counts;
+        Hashtbl.clear s.cs_seen;
+        (s.cs_counts, s.cs_seen)
+    | None -> (Hashtbl.create 64, Hashtbl.create 16)
+  in
+  Trace.iteri
+    (fun _ (e : Trace.entry) ->
       let key = e.node ^ "\x00" ^ e.tag in
       match Hashtbl.find_opt counts key with
       | Some r -> incr r
       | None ->
           Hashtbl.add counts key (ref 1);
           add ("nt:" ^ key))
-    (Trace.entries trace);
+    trace;
   Hashtbl.iter
     (fun key r -> add (Printf.sprintf "hc:%s:%d" key (hit_class !r)))
     counts;
   (* protocol-state labels and consecutive transitions *)
-  let seen_state = Hashtbl.create 16 in
   List.iter
     (fun lbl ->
       if not (Hashtbl.mem seen_state lbl) then begin

@@ -30,7 +30,18 @@ val hash64 : string -> int64
 type features
 (** The deduplicated feature-bucket set of one trace. *)
 
+type scratch
+(** Reusable working tables for {!features_of_trace}: the extraction
+    needs a hit-count table and a seen-label set per call, and a fuzz
+    run extracts features from thousands of traces on one domain, so
+    passing one scratch keeps the (grown) tables instead of
+    re-allocating them.  Cleared on entry; the result is identical
+    with or without one.  Not shareable between domains. *)
+
+val scratch : unit -> scratch
+
 val features_of_trace :
+  ?scratch:scratch ->
   ?states:string list -> ?oracles:Oracle.t list -> Trace.t -> features
 (** Extracts:
     - one feature per distinct (node, tag) pair;

@@ -14,6 +14,35 @@
     (remote workers, rate-limited runners, ...) without touching
     {!Campaign}. *)
 
+exception Uninitialized
+(** Sentinel occupying pooled result slots before a worker writes
+    them; never escapes unless the cursor invariant is broken. *)
+
+type worker_stat = {
+  ws_claims : int;  (** cursor claims that yielded at least one item *)
+  ws_items : int;  (** items this worker executed *)
+  ws_busy_s : float;  (** wall seconds spent inside the runner *)
+}
+(** One worker's share of the work.  Worker 0 is always the calling
+    domain; workers 1.. are spawned domains.  [ws_busy_s / elapsed] is
+    the worker's busy fraction — the utilization number [--stats]
+    prints. *)
+
+type stats = {
+  st_exec : string;  (** the executor's [name] *)
+  st_maps : int;  (** [try_map] calls accumulated (empty maps excluded) *)
+  st_items : int;
+  st_spawned : int;  (** domains spawned, total across maps *)
+  st_elapsed_s : float;  (** wall time inside [try_map], summed *)
+  st_workers : worker_stat list;
+      (** per-worker totals, calling domain first; length is the widest
+          worker count any accumulated map used *)
+}
+(** Lifetime scheduling counters of one executor, accumulated across
+    every [try_map] it ran.  Purely observational: results never depend
+    on them.  Accounting is unsynchronized — don't share one executor
+    between domains (trial runners never nest executors). *)
+
 type t = {
   exec_name : string;  (** e.g. ["sequential"], ["domains(4)"] *)
   width : int;
@@ -24,44 +53,71 @@ type t = {
           input order.  An item whose runner raises yields [Error exn]
           in its slot; every other item is still executed — no trial is
           lost to a sibling's exception. *)
+  stats_cell : stats ref;
+      (** where [try_map] accumulates its {!stats}; custom strategies
+          plug in [ref (zero_stats name)] and may leave it untouched *)
 }
+
+val zero_stats : string -> stats
+(** Fresh all-zero counters carrying the given executor name. *)
+
+val stats : t -> stats
+(** The executor's accumulated lifetime counters. *)
 
 val sequential : t
 (** The default: plain in-order [List.map] on the calling domain —
-    exactly the pre-executor campaign behaviour. *)
+    exactly the pre-executor campaign behaviour.  This is one shared
+    executor (its stats accumulate process-wide); {!of_jobs}[ 1] makes
+    a fresh one. *)
 
 val domains : ?jobs:int -> unit -> t
 (** A pool of [jobs] workers (the calling domain plus [jobs - 1]
-    spawned domains) pulling trial indexes from a shared atomic work
-    queue.  Results land in a per-index slot, so completion order —
-    which is scheduling-dependent — never reorders outcomes.  [jobs]
-    defaults to {!default_jobs} and is clamped to at least 1.
+    spawned domains) pulling trial indexes from a shared atomic cursor
+    with {e guided self-scheduling}: each claim takes
+    [max 1 (remaining / (2 * jobs))] consecutive indexes, so early
+    claims are large (amortizing the atomic operation over many
+    trials) and claims shrink toward 1 near the tail (no worker is
+    left holding a big chunk while the others idle).  Results land in
+    a per-index slot, so completion order — which is
+    scheduling-dependent — never reorders outcomes.  [jobs] defaults
+    to {!default_jobs} and is clamped to at least 1.
 
     Each [try_map] call additionally clamps its worker count to the
-    number of work chunks ([min jobs (length items)] when [chunk = 1]),
-    so an executor requested wider than the input never spawns idle
-    domains; [exec_name] and [width] keep reporting the requested
-    value, which is what the next (possibly larger) map may use.
+    item count, so an executor requested wider than the input never
+    spawns idle domains, and an empty input spawns no domains at all;
+    [exec_name] and [width] keep reporting the requested value, which
+    is what the next (possibly larger) map may use.
 
     Safe because each trial builds its own fresh [Sim]/stack from its
     descriptor seed: workers share only the read-only runner closure,
-    the input array and the atomic queue head.  Runners must not rely
+    the input array and the atomic cursor.  Runners must not rely
     on process-global hooks such as [Sim.set_create_hook] (see its
     documentation). *)
 
 val chunked : ?jobs:int -> ?chunk:int -> unit -> t
-(** Like {!domains}, but workers claim [chunk] consecutive trials per
-    queue operation (default 4), amortizing dispatch overhead across a
-    batch — worthwhile when individual trials are very short.  With
+(** Like {!domains}, but workers claim a {e constant} [chunk] of
+    consecutive trials per cursor operation.  When [chunk] is omitted
+    it is derived per map as [max 1 (n / (4 * jobs))] — four claims
+    per worker on average, enough batching to amortize dispatch while
+    still leaving tail slack — which is the sensible default when
+    trial costs are roughly uniform.  An explicit [chunk] pins the
+    batch size (useful for tests and very short trials).  With
     [jobs = 1] this is {!sequential} plus batching. *)
+
+val derived_chunk : jobs:int -> int -> int
+(** The chunk {!chunked} derives for an [n]-item map when [chunk] is
+    omitted: [max 1 (n / (4 * jobs))].  Exposed so tests and tuning
+    experiments can pin the heuristic. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the runtime's estimate of
     useful parallelism on this machine. *)
 
 val of_jobs : int -> t
-(** The conventional CLI mapping for [--jobs N]: [1] (or less) is
-    {!sequential}, anything larger is [domains ~jobs:N ()]. *)
+(** The conventional CLI mapping for [--jobs N]: [1] (or less) is a
+    fresh sequential executor, anything larger is [domains ~jobs:N ()].
+    Always a fresh executor, so its {!stats} cover exactly the maps the
+    caller runs through it. *)
 
 val name : t -> string
 

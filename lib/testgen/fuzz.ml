@@ -299,6 +299,9 @@ let run ?(executor = Executor.sequential) ?(seed = Campaign.default_seed)
   let horizon = H.default_horizon in
   let spec = H.spec and target = H.target in
   let bitmap = Coverage.create () in
+  (* feature extraction runs on the calling domain only ([process] is
+     sequential), so one scratch serves the whole run *)
+  let cov_scratch = Coverage.scratch () in
   let seen = Hashtbl.create 256 in (* canonical text of every scheduled input *)
   let presigs = Hashtbl.create 16 in (* raw-input signatures already reduced *)
   let sigs = Hashtbl.create 16 in (* minimized signatures already reported *)
@@ -464,7 +467,8 @@ let run ?(executor = Executor.sequential) ?(seed = Campaign.default_seed)
       | None -> Trace.create () (* unreachable: observer asks for traces *)
     in
     let feats =
-      Coverage.features_of_trace ~states:(H.state_of_trace trace) ~oracles trace
+      Coverage.features_of_trace ~scratch:cov_scratch
+        ~states:(H.state_of_trace trace) ~oracles trace
     in
     if Coverage.merge bitmap feats > 0 then begin
       corpus := input :: !corpus;

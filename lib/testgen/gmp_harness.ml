@@ -32,8 +32,8 @@ let harness ?(bugs = Gmd.no_bugs) () : Harness_intf.packed =
     let n = 3
     let config = { Gmd.default_config with Gmd.bugs }
 
-    let build ~seed =
-      let sim = Sim.create ~seed () in
+    let build ?scratch ~seed () =
+      let sim = Sim.create ?scratch ~seed () in
       let net = Network.create sim in
       let names = List.init n (fun i -> (Printf.sprintf "n%d" (i + 1), i + 1)) in
       let pfi_ref = ref None in

@@ -35,10 +35,14 @@ module type HARNESS = sig
   val default_seed : int64
   (** Campaign seed when none is given. *)
 
-  val build : seed:int64 -> env
+  val build : ?scratch:Sim.scratch -> seed:int64 -> unit -> env
   (** Fresh system for one trial (new Sim, network, stacks), seeded
       with the given per-trial RNG seed.  Must not capture or mutate
-      state shared with other trials. *)
+      state shared with other trials.  [scratch] is recycled backing
+      storage for the sim's trace and event queue (an {!Arena} hands
+      the campaign runner this domain's); implementations just forward
+      it to [Sim.create ?scratch ~seed ()] — adopting it changes
+      nothing observable, so a harness may also ignore it. *)
 
   val sim : env -> Sim.t
   val pfi : env -> Pfi_core.Pfi_layer.t

@@ -142,19 +142,84 @@ let entry_cite i (e : Trace.entry) =
     (Vtime.to_string e.Trace.time)
     e.Trace.node e.Trace.tag (Trace.detail e)
 
-(* every (index, entry) matching [p], using the (node, tag) indexes when
-   the pattern constrains them exactly — a wildcarded node or tag can't
-   use the exact-match index and falls back to the full scan *)
+(* the (node, tag) indexes apply when the pattern constrains them
+   exactly — a wildcarded node or tag can't use the exact-match index
+   and falls back to the full scan *)
+let indexable = function
+  | Some v when not (has_wildcard v) -> Some v
+  | _ -> None
+
+(* every (index, entry) matching [p] *)
 let matches_of p trace =
-  let indexable = function
-    | Some v when not (has_wildcard v) -> Some v
-    | _ -> None
-  in
   let acc = ref [] in
   Trace.iteri ?node:(indexable p.p_node) ?tag:(indexable p.p_tag)
     (fun i e -> if pattern_matches p e then acc := (i, e) :: !acc)
     trace;
   List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-light evaluation                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [holds] mirrors [eval]'s pass/fail decision exactly (each arm below
+   restates the corresponding [eval] arm's condition) without building
+   the match lists, describe strings or verdict records — campaigns
+   evaluate oracles once per trial and only care about the boolean
+   until something fails, at which point [check] re-runs [eval] for
+   the diagnostic. *)
+
+let count_matches p trace =
+  let n = ref 0 in
+  Trace.iteri ?node:(indexable p.p_node) ?tag:(indexable p.p_tag)
+    (fun _ e -> if pattern_matches p e then incr n)
+    trace;
+  !n
+
+let exists_match p trace =
+  let found = ref false in
+  Trace.iteri ?node:(indexable p.p_node) ?tag:(indexable p.p_tag)
+    (fun _ e -> if (not !found) && pattern_matches p e then found := true)
+    trace;
+  !found
+
+let exists_in_window p a b trace =
+  let found = ref false in
+  Trace.iteri ?node:(indexable p.p_node) ?tag:(indexable p.p_tag)
+    (fun _ e ->
+      if
+        (not !found)
+        && Vtime.(e.Trace.time >= a && e.Trace.time <= b)
+        && pattern_matches p e
+      then found := true)
+    trace;
+  !found
+
+(* first match of [p] at a recording index strictly greater than
+   [after], or -1 — [Trace.iteri] visits in ascending index order *)
+let first_match_after p trace ~after =
+  let found = ref (-1) in
+  Trace.iteri ?node:(indexable p.p_node) ?tag:(indexable p.p_tag)
+    (fun i e ->
+      if !found < 0 && i > after && pattern_matches p e then found := i)
+    trace;
+  !found
+
+let rec holds o trace =
+  match o with
+  | Eventually p -> exists_match p trace
+  | Never p -> not (exists_match p trace)
+  | Within (p, a, b) -> exists_in_window p a b trace
+  | Ordered ps ->
+    let rec chase last_idx = function
+      | [] -> true
+      | p :: rest ->
+        let i = first_match_after p trace ~after:last_idx in
+        i >= 0 && chase i rest
+    in
+    chase (-1) ps
+  | Count (p, cmp, bound) -> compare_holds cmp (count_matches p trace) bound
+  | All ts -> List.for_all (fun o -> holds o trace) ts
+  | Any ts -> List.exists (fun o -> holds o trace) ts
 
 let rec eval oracle trace =
   let oracle_str = describe oracle in
@@ -280,8 +345,11 @@ let check oracles trace =
   let rec go = function
     | [] -> Ok ()
     | o :: rest ->
-      let v = eval o trace in
-      if v.pass then go rest
-      else Error (Printf.sprintf "oracle %s: %s" v.oracle v.reason)
+      (* boolean fast path first; the verdict (and all its strings) is
+         only built for the failing oracle *)
+      if holds o trace then go rest
+      else
+        let v = eval o trace in
+        Error (Printf.sprintf "oracle %s: %s" v.oracle v.reason)
   in
   go oracles

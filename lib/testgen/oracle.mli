@@ -84,9 +84,17 @@ type verdict = {
 
 val eval : t -> Trace.t -> verdict
 
+val holds : t -> Trace.t -> bool
+(** [holds o trace = (eval o trace).pass], computed without building
+    the verdict, its diagnostic strings or any intermediate match
+    lists — the campaign hot path, where almost every oracle passes on
+    almost every trial. *)
+
 val eval_all : t list -> Trace.t -> verdict list
 
 val check : t list -> Trace.t -> (unit, string) result
 (** [Error reason] for the first failing oracle — drop-in for the
     harness [check] closures, so campaign verdicts can be expressed as
-    oracles and flow into shrink/replay unchanged. *)
+    oracles and flow into shrink/replay unchanged.  Decides each oracle
+    via {!holds} and only pays for {!eval}'s diagnostic construction on
+    the failing one. *)

@@ -780,7 +780,7 @@ let run ?seed ?(observe = Campaign.silent) sc =
     | None -> Option.value sc.sc_seed ~default:H.default_seed
   in
   let horizon = Option.value sc.sc_horizon ~default:H.default_horizon in
-  let env = H.build ~seed in
+  let env = H.build ~seed () in
   let sim = H.sim env and pfi = H.pfi env in
   let side_script side =
     sc.sc_faults

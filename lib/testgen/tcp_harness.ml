@@ -33,8 +33,8 @@ let harness ?(chunk_count = 12) () : Harness_intf.packed =
     let default_horizon = default_horizon
     let default_seed = default_seed
 
-    let build ~seed =
-      let sim = Sim.create ~seed () in
+    let build ?scratch ~seed () =
+      let sim = Sim.create ?scratch ~seed () in
       let net = Network.create sim in
       let client = Tcp.create ~sim ~node:"client" ~profile:Profile.xkernel () in
       let pfi =

@@ -85,6 +85,57 @@ let test_clamp_no_oversubscription () =
   Alcotest.(check (list int)) "wide map after clamped map" (items 64)
     (Executor.map executor (fun x -> x) (items 64))
 
+(* an empty map must not pay for the pool at all: no domain spawns, no
+   stats entry — and the executor keeps working afterwards *)
+let test_empty_map_spawns_nothing () =
+  let executor = Executor.domains ~jobs:4 () in
+  Alcotest.(check (list int)) "empty map is empty" []
+    (Executor.map executor (fun i -> i) []);
+  let st = Executor.stats executor in
+  Alcotest.(check int) "no domains spawned" 0 st.Executor.st_spawned;
+  Alcotest.(check int) "no map recorded" 0 st.Executor.st_maps;
+  Alcotest.(check (list int)) "still maps afterwards" (items 8)
+    (Executor.map executor (fun i -> i) (items 8))
+
+(* the derived default chunk: `chunked ~jobs ()` sizes claims from the
+   input as n / (4*jobs), so it needs no hand-tuned chunk yet still
+   matches the sequential results *)
+let test_chunked_auto_derived () =
+  let executor = Executor.chunked ~jobs:4 () in
+  Alcotest.(check string) "auto name" "chunked(4,auto)"
+    (Executor.name executor);
+  let f i = (i * 37) mod 11 in
+  Alcotest.(check (list int)) "auto chunk matches sequential"
+    (List.map f (items 33))
+    (Executor.map executor f (items 33));
+  (* and the derived size itself: floor 1, else n/(4*jobs) *)
+  Alcotest.(check int) "derived floor" 1 (Executor.derived_chunk ~jobs:8 3);
+  Alcotest.(check int) "derived 64/(4*4)" 4 (Executor.derived_chunk ~jobs:4 64)
+
+(* scheduling stats: items are conserved across workers, worker 0 is
+   the calling domain, and the spawn counter matches the clamp *)
+let test_stats_accounting () =
+  let executor = Executor.of_jobs 1 in
+  ignore (Executor.map executor (fun i -> i) (items 10));
+  ignore (Executor.map executor (fun i -> i) (items 5));
+  let st = Executor.stats executor in
+  Alcotest.(check int) "sequential maps" 2 st.Executor.st_maps;
+  Alcotest.(check int) "sequential items" 15 st.Executor.st_items;
+  Alcotest.(check int) "sequential never spawns" 0 st.Executor.st_spawned;
+  let pool = Executor.domains ~jobs:4 () in
+  ignore (Executor.map pool (fun i -> i * i) (items 64));
+  let st = Executor.stats pool in
+  Alcotest.(check int) "pool items" 64 st.Executor.st_items;
+  Alcotest.(check int) "pool spawned jobs-1 domains" 3 st.Executor.st_spawned;
+  Alcotest.(check int) "per-worker items sum to the input" 64
+    (List.fold_left
+       (fun acc (w : Executor.worker_stat) -> acc + w.Executor.ws_items)
+       0 st.Executor.st_workers);
+  Alcotest.(check bool) "every claim processed at least one item" true
+    (List.for_all
+       (fun (w : Executor.worker_stat) -> w.Executor.ws_items >= w.Executor.ws_claims || w.Executor.ws_claims = 0)
+       st.Executor.st_workers)
+
 (* ------------------------------------------------------------------ *)
 (* Exception isolation: no lost trials                                *)
 (* ------------------------------------------------------------------ *)
@@ -188,6 +239,26 @@ let check_jobs_invariant name =
 let test_campaign_jobs_invariant_abp () = check_jobs_invariant "abp-buggy"
 let test_campaign_jobs_invariant_gmp () = check_jobs_invariant "gmp-buggy"
 
+(* the trial arena (per-domain scratch reuse, on by default) must be
+   observationally invisible: the same campaign with recycling disabled
+   produces the same bytes, and the arena actually served trials *)
+let test_campaign_arena_invisible () =
+  let entry =
+    match Registry.find "gmp-buggy" with
+    | Some e -> e
+    | None -> Alcotest.fail "no registry entry gmp-buggy"
+  in
+  let table ~arena =
+    Campaign.table
+      (Campaign.run ~arena (Campaign.plan entry)).Campaign.s_outcomes
+  in
+  let served0 = Arena.trials_served () in
+  let reused = table ~arena:true in
+  Alcotest.(check bool) "arena served this campaign's trials" true
+    (Arena.trials_served () - served0 > 0);
+  Alcotest.(check string) "fresh-build bytes == reused-arena bytes"
+    (table ~arena:false) reused
+
 (* parallel trace capture: the per-outcome traces must also be
    independent of the worker count *)
 let test_campaign_traces_jobs_invariant () =
@@ -251,6 +322,12 @@ let suite =
     Alcotest.test_case "chunked executor matches sequential" `Quick
       test_chunked_matches_sequential;
     Alcotest.test_case "more workers than trials" `Quick test_more_jobs_than_items;
+    Alcotest.test_case "empty map spawns no domains" `Quick
+      test_empty_map_spawns_nothing;
+    Alcotest.test_case "chunked auto derives its chunk" `Quick
+      test_chunked_auto_derived;
+    Alcotest.test_case "scheduling stats conserve items" `Quick
+      test_stats_accounting;
     Alcotest.test_case "clamp: no idle domains when items < jobs" `Quick
       test_clamp_no_oversubscription;
     Alcotest.test_case "worker exception loses no trials" `Quick
@@ -262,6 +339,8 @@ let suite =
       test_campaign_jobs_invariant_abp;
     Alcotest.test_case "gmp-buggy campaign byte-identical at jobs 1/2/8" `Slow
       test_campaign_jobs_invariant_gmp;
+    Alcotest.test_case "trial arena is observationally invisible" `Slow
+      test_campaign_arena_invisible;
     Alcotest.test_case "per-trial traces byte-identical at jobs 4" `Slow
       test_campaign_traces_jobs_invariant;
     Alcotest.test_case "parallel shrink keeps the sequential trajectory" `Quick

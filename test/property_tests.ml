@@ -322,6 +322,92 @@ let prop_rng_int_uniform =
         (fun c -> Float.abs (float_of_int c -. mean) <= 5.0 *. sigma)
         counts)
 
+(* ------------------------------------------------------------------ *)
+(* Trace arena reuse: clear + re-record ≡ fresh                       *)
+(* ------------------------------------------------------------------ *)
+
+(* the byte-identity contract the trial arena rests on: a trace that
+   already recorded one batch and was [clear]ed must be observationally
+   indistinguishable from a freshly created one — same JSONL bytes,
+   same index query results — for any subsequent batch *)
+
+let trace_nodes = [| "n0"; "n1"; "relay" |]
+let trace_tags = [| "net.send"; "net.recv"; "timer.fire"; "gmp.commit" |]
+
+let trace_batch_gen =
+  QCheck.Gen.(
+    pair
+      (list_size (int_bound 30)
+         (quad (int_bound 1_000_000) (int_bound 7) (int_bound 7)
+            (string_size ~gen:printable (int_bound 8))))
+      (list_size (int_bound 30)
+         (quad (int_bound 1_000_000) (int_bound 7) (int_bound 7)
+            (string_size ~gen:printable (int_bound 8)))))
+
+let trace_record_batch tr batch =
+  List.iter
+    (fun (t, ni, ti, detail) ->
+      (* fresh string copies, so any sharing observed in the recorded
+         entries is the recorder's interning, not ours *)
+      let copy s = String.sub s 0 (String.length s) in
+      let node = copy trace_nodes.(ni mod Array.length trace_nodes) in
+      let tag = copy trace_tags.(ti mod Array.length trace_tags) in
+      let fields = if ti mod 2 = 0 then [ ("k", detail) ] else [] in
+      Trace.record ~fields tr ~time:(Vtime.us t) ~node ~tag detail)
+    batch
+
+let prop_trace_clear_reuse =
+  QCheck.Test.make ~name:"cleared trace is byte-identical to a fresh one"
+    ~count:200
+    (QCheck.make trace_batch_gen)
+    (fun (first, second) ->
+      let reused = Trace.create () in
+      trace_record_batch reused first;
+      let pre_node =
+        match Trace.entries reused with
+        | e :: _ -> Some e.Trace.node
+        | [] -> None
+      in
+      Trace.clear reused;
+      let fresh = Trace.create () in
+      trace_record_batch reused second;
+      trace_record_batch fresh second;
+      let same_queries =
+        Array.for_all
+          (fun node ->
+            List.length (Trace.find ~node reused)
+            = List.length (Trace.find ~node fresh)
+            && Array.for_all
+                 (fun tag ->
+                   Trace.count ~node ~tag reused
+                   = Trace.count ~node ~tag fresh
+                   && Trace.timestamps ~node ~tag reused
+                      = Trace.timestamps ~node ~tag fresh)
+                 trace_tags)
+          trace_nodes
+      in
+      let same_last =
+        match (Trace.last reused, Trace.last fresh) with
+        | None, None -> true
+        | Some a, Some b ->
+          a.Trace.time = b.Trace.time && Trace.detail a = Trace.detail b
+        | _ -> false
+      in
+      (* the intern table survives the clear: a node name recorded
+         before the clear and again after it is the same physical
+         string, even though the caller passed a fresh copy *)
+      let intern_survives =
+        match pre_node with
+        | Some n ->
+          List.for_all
+            (fun (e : Trace.entry) -> e.Trace.node <> n || e.Trace.node == n)
+            (Trace.entries reused)
+        | None -> true
+      in
+      Trace.to_jsonl reused = Trace.to_jsonl fresh
+      && Trace.length reused = Trace.length fresh
+      && same_queries && same_last && intern_survives)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_parser_total;
@@ -332,4 +418,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_abp_integrity;
     QCheck_alcotest.to_alcotest prop_event_queue_model;
     QCheck_alcotest.to_alcotest prop_rng_int_uniform;
+    QCheck_alcotest.to_alcotest prop_trace_clear_reuse;
   ]
