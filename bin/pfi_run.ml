@@ -138,6 +138,22 @@ module Copts = struct
          observational — the numbers vary with $(b,--jobs) and machine \
          load, while the results stay byte-identical." }
 
+  let report =
+    { flag = "report";
+      docv = "FILE";
+      doc =
+        "Write the markdown conformance report to $(docv) instead of \
+         stdout.  The bytes are independent of $(b,--jobs); the one-line \
+         summary still goes to stdout." }
+
+  let profile =
+    { flag = "profile";
+      docv = "VENDOR";
+      doc =
+        "Build every trial with the $(docv) profile while keeping each \
+         row's own vendor expectations — the wrong-knob negative control, \
+         so mismatched rows are expected to FAIL." }
+
   (* which subcommand carries which options — the single source the
      Cmdliner terms and `pfi_run help <cmd>` are both generated from.
      The last field lists deprecation notes: forms that still parse (or
@@ -145,9 +161,7 @@ module Copts = struct
      for removal. *)
   let commands =
     [ ("list", "", "List regenerable artifacts and harnesses.",
-       [ json ],
-       [ "the undocumented positional ARTIFACTS argument is deprecated \
-          and ignored; use `pfi_run run ARTIFACT...` to select artifacts" ]);
+       [ json ], []);
       ("run", "ARTIFACT...", "Regenerate one or more paper artifacts.",
        [ seed; trace_out; json ], []);
       ("repl", "", "Interactive REPL over the filter scripting language.",
@@ -171,7 +185,11 @@ module Copts = struct
        "Coverage-guided fault fuzzing: mutate fault scripts and injection \
         schedules, keep inputs that reach new trace coverage, minimize and \
         deduplicate every violation into a findings stream.",
-       [ seed; trace_out; json; jobs; budget; corpus; stats ], []) ]
+       [ seed; trace_out; json; jobs; budget; corpus; stats ], []);
+      ("matrix", "",
+       "Run the vendor conformance matrix: re-discover the paper's TCP \
+        quirk tables from traces.",
+       [ seed; json; jobs; report; profile ], []) ]
 
   (* Cmdliner terms, generated from the specs *)
   let flag_term spec = Arg.(value & flag & info [ spec.flag ] ~doc:spec.doc)
@@ -203,6 +221,8 @@ module Copts = struct
   let budget_term = opt_term Arg.int budget
   let corpus_term = opt_term Arg.string corpus
   let stats_term = flag_term stats
+  let report_term = opt_term Arg.string report
+  let profile_term = opt_term Arg.string profile
 end
 
 (* `pfi_run help [CMD]`: print the normalized option table *)
@@ -300,13 +320,7 @@ let artifacts : (string * string * (unit -> output)) list =
 let json_str s = Pfi_testgen.Repro.Json.Str s
 let json_print tree = print_endline (Pfi_testgen.Repro.Json.to_string tree)
 
-let list_ positional json =
-  (* deprecated, undocumented positional form: still accepted, never
-     acted on — flagged here and in `pfi_run help list` *)
-  if positional <> [] then
-    Printf.eprintf
-      "list: positional arguments are deprecated and ignored (use `pfi_run \
-       run ARTIFACT...`)\n";
+let list_ json =
   if json then begin
     List.iter
       (fun (name, desc, _) ->
@@ -339,10 +353,7 @@ let list_ positional json =
 
 let list_cmd =
   let doc = "List the paper artifacts and campaign harnesses." in
-  let positional =
-    Arg.(value & pos_all string [] & info [] ~docv:"DEPRECATED")
-  in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const list_ $ positional $ Copts.json_term)
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_ $ Copts.json_term)
 
 (* While [f] runs, capture every simulation it creates (experiment
    generators build their sims internally) and let it flush their traces
@@ -1441,6 +1452,62 @@ let gen_cmd =
       const gen $ spec $ Copts.output_term $ Copts.json_term
       $ Copts.limit_term)
 
+(* ------------------------------------------------------------------ *)
+(* Vendor conformance matrix                                          *)
+(* ------------------------------------------------------------------ *)
+
+let matrix seed jobs json report profile =
+  let open Pfi_testgen in
+  let seed = Option.value seed ~default:Campaign.default_seed in
+  let executor = Executor.of_jobs jobs in
+  let rep =
+    try Conformance.run ~executor ~seed ?profile_override:profile
+          (Conformance.catalog ())
+    with Invalid_argument m ->
+      Printf.eprintf "matrix: %s\n" m;
+      exit 2
+  in
+  let md = Conformance.to_markdown rep in
+  (match report with
+   | None -> ()
+   | Some path ->
+     let oc =
+       try open_out_bin path
+       with Sys_error m ->
+         Printf.eprintf "cannot open report output: %s\n" m;
+         exit 1
+     in
+     output_string oc md;
+     close_out oc);
+  let rows_passed = Conformance.passed rep in
+  let rows_total = Conformance.total rep in
+  if json then json_print (Conformance.to_json rep)
+  else begin
+    (match report with
+     | None -> print_string md
+     | Some path -> Printf.printf "wrote %s\n" path);
+    let cp, ct = Conformance.check_counts rep in
+    Printf.printf "conformance: %d/%d rows pass (%d/%d checks)\n" rows_passed
+      rows_total cp ct
+  end;
+  if rows_passed < rows_total then exit 1
+
+let matrix_cmd =
+  let doc =
+    "Run the vendor conformance matrix — the flagship campaign that \
+     re-discovers the paper's TCP quirk tables from traces.  Every catalog \
+     row (retransmission exhaustion, retry accounting, keep-alive, \
+     zero-window probing, plus handshake/teardown lifecycle rows, each \
+     crossed with all four vendor profiles) runs as one fault-injection \
+     trial, and an oracle re-measures the quirk from the recorded trace \
+     against the paper's value.  Exit 1 if any row fails.  The report is \
+     byte-identical for any $(b,--jobs) width."
+  in
+  Cmd.v (Cmd.info "matrix" ~doc)
+    Term.(
+      const matrix $ Copts.seed_term $ Copts.jobs_term $ Copts.json_term
+      $ Copts.report_term $ Copts.profile_term)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -1453,4 +1520,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_cmd; repl_cmd; msc_cmd; campaign_cmd; shrink_cmd;
-            replay_cmd; check_cmd; gen_cmd; fuzz_cmd; help_cmd ]))
+            replay_cmd; check_cmd; gen_cmd; fuzz_cmd; matrix_cmd; help_cmd ]))

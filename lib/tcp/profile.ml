@@ -105,8 +105,14 @@ let all_vendors = [ sunos_413; aix_323; next_mach; solaris_23 ]
 
 let xkernel = { bsd_base with name = "x-Kernel" }
 
+let slug p =
+  String.map (fun c -> if c = ' ' then '-' else Char.lowercase_ascii c) p.name
+
 let find name =
   let target = String.lowercase_ascii name in
-  List.find_opt
-    (fun p -> String.lowercase_ascii p.name = target)
-    (xkernel :: all_vendors)
+  let known = xkernel :: all_vendors in
+  match
+    List.find_opt (fun p -> String.lowercase_ascii p.name = target) known
+  with
+  | Some p -> Some p
+  | None -> List.find_opt (fun p -> slug p = target) known

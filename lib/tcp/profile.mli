@@ -94,5 +94,11 @@ val xkernel : t
 (** The instrumented x-Kernel peer the PFI tool runs on: RFC-compliant
     BSD-style parameters. *)
 
+val slug : t -> string
+(** Single-token identifier for the profile: the lowercased name with
+    spaces replaced by dashes (["sunos-4.1.3"], ["x-kernel"]).  Usable
+    where whitespace-free tokens are required (scenario directives,
+    generated file names) and accepted back by {!find}. *)
+
 val find : string -> t option
-(** Lookup by [name] (case-insensitive). *)
+(** Lookup by [name] (case-insensitive) or by {!slug}. *)

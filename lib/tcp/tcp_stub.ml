@@ -83,6 +83,9 @@ let generate args =
     (match List.assoc_opt "dst" args with
      | Some dst -> Message.set_attr msg Pfi_netsim.Network.dst_attr dst
      | None -> ());
+    (match List.assoc_opt "src" args with
+     | Some src -> Message.set_attr msg Pfi_netsim.Network.src_attr src
+     | None -> ());
     Some msg
 
 let fields msg =

@@ -17,6 +17,8 @@ type group = {
   g_name : string;
   g_harnesses : string list;
   g_sides : string list;
+  g_profiles : string list;  (* vendor-profile axis; [] = no directive *)
+  g_phases : string list;  (* workload-phase axis; [] = no directive *)
   g_seed : int64 option;
   g_horizon : string option;
   g_faults : (int * string list) list;
@@ -45,6 +47,8 @@ type builder = {
   b_name : string;
   mutable b_harnesses : string list;  (* reversed *)
   mutable b_sides : string list;  (* reversed *)
+  mutable b_profiles : string list;  (* reversed *)
+  mutable b_phases : string list;  (* reversed *)
   mutable b_seed : int64 option;
   mutable b_horizon : string option;
   mutable b_faults : (int * string list) list;  (* reversed *)
@@ -89,6 +93,8 @@ let parse src =
             b_name = name;
             b_harnesses = [];
             b_sides = [];
+            b_profiles = [];
+            b_phases = [];
             b_seed = None;
             b_horizon = None;
             b_faults = [];
@@ -123,6 +129,38 @@ let parse src =
             err ~line ~token:s "duplicate side in the group";
           b.b_sides <- s :: b.b_sides)
         ss
+    | "profile" :: ps ->
+      if ps = [] then err ~line ~token:"profile" "usage: profile VENDOR...";
+      List.iter
+        (fun p ->
+          match Pfi_tcp.Profile.find p with
+          | None ->
+            err ~line ~token:p
+              (Printf.sprintf "unknown vendor profile (expected one of %s)"
+                 (String.concat ", "
+                    (List.map Pfi_tcp.Profile.slug
+                       (Pfi_tcp.Profile.xkernel :: Pfi_tcp.Profile.all_vendors))))
+          | Some prof ->
+            let slug = Pfi_tcp.Profile.slug prof in
+            if List.mem slug b.b_profiles then
+              err ~line ~token:p "duplicate profile in the group";
+            b.b_profiles <- slug :: b.b_profiles)
+        ps
+    | "phase" :: ps ->
+      if ps = [] then
+        err ~line ~token:"phase" "usage: phase handshake|stream|close...";
+      List.iter
+        (fun p ->
+          match Tcp_harness.phase_of_string p with
+          | None ->
+            err ~line ~token:p
+              "unknown phase (expected handshake, stream or close)"
+          | Some ph ->
+            let name = Tcp_harness.phase_name ph in
+            if List.mem name b.b_phases then
+              err ~line ~token:p "duplicate phase in the group";
+            b.b_phases <- name :: b.b_phases)
+        ps
     | "seed" :: rest ->
       if b.b_seed <> None then
         err ~line ~token:"seed" "duplicate group seed directive";
@@ -162,6 +200,8 @@ let parse src =
           g_harnesses = List.rev b.b_harnesses;
           g_sides =
             (match List.rev b.b_sides with [] -> [ "both" ] | ss -> ss);
+          g_profiles = List.rev b.b_profiles;
+          g_phases = List.rev b.b_phases;
           g_seed = b.b_seed;
           g_horizon = b.b_horizon;
           g_faults = List.rev b.b_faults;
@@ -180,8 +220,8 @@ let parse src =
       b.b_templates <- (line, toks) :: b.b_templates
     | tok :: _ ->
       err ~line ~token:tok
-        "unknown group directive (expected harness, side, seed, horizon, \
-         fault, xfail, an @T/expect template, or end)"
+        "unknown group directive (expected harness, side, profile, phase, \
+         seed, horizon, fault, xfail, an @T/expect template, or end)"
   in
   let lines = String.split_on_char '\n' src in
   List.iteri
@@ -452,8 +492,15 @@ let expand ?limit m =
             n)
           1 template_alts
       in
+      let profile_alts =
+        match g.g_profiles with [] -> [ None ] | ps -> List.map Option.some ps
+      in
+      let phase_alts =
+        match g.g_phases with [] -> [ None ] | ps -> List.map Option.some ps
+      in
       let group_count =
         List.length g.g_harnesses * List.length g.g_sides
+        * List.length profile_alts * List.length phase_alts
         * List.length fault_alts * combo_count
       in
       if !index + group_count > max_scenarios then
@@ -465,8 +512,12 @@ let expand ?limit m =
         (fun h ->
           List.iter
             (fun side ->
-              List.iter
-                (fun falt ->
+             List.iter
+              (fun palt ->
+               List.iter
+                (fun phalt ->
+                  List.iter
+                    (fun falt ->
                   List.iter
                     (fun combo ->
                       incr index;
@@ -479,9 +530,12 @@ let expand ?limit m =
                         List.concat_map (fun (_, _, vs) -> vs) combo
                       in
                       let name =
-                        Printf.sprintf "%s/%s/%s/%s%s" g.g_name h side
-                          fault_slug
-                          (match tvals with
+                        String.concat "/"
+                          ([ g.g_name; h; side ]
+                          @ (match palt with None -> [] | Some p -> [ p ])
+                          @ (match phalt with None -> [] | Some p -> [ p ])
+                          @ [ fault_slug ])
+                        ^ (match tvals with
                            | [] -> ""
                            | vs -> "@" ^ String.concat "," vs)
                       in
@@ -498,8 +552,14 @@ let expand ?limit m =
                       in
                       let src_lines =
                         [ ("name " ^ name, g.g_line);
-                          ("run " ^ h, g.g_line);
-                          (Printf.sprintf "seed %Ld" seed, g.g_line) ]
+                          ("run " ^ h, g.g_line) ]
+                        @ (match palt with
+                           | Some p -> [ ("profile " ^ p, g.g_line) ]
+                           | None -> [])
+                        @ (match phalt with
+                           | Some p -> [ ("phase " ^ p, g.g_line) ]
+                           | None -> [])
+                        @ [ (Printf.sprintf "seed %Ld" seed, g.g_line) ]
                         @ (match g.g_horizon with
                            | Some d -> [ ("horizon " ^ d, g.g_line) ]
                            | None -> [])
@@ -557,7 +617,9 @@ let expand ?limit m =
                           e_text = text }
                         :: !entries)
                     combos)
-                fault_alts)
+                    fault_alts)
+                phase_alts)
+              profile_alts)
             g.g_sides)
         g.g_harnesses)
     m.m_groups;

@@ -42,6 +42,11 @@
       Repeatable; at least one harness is required.
     - [side send|receive|both ...] — filter-side axis (default
       [both]).
+    - [profile VENDOR ...] — (tcp groups) vendor-profile axis: each
+      scenario gets a [profile] directive; accepted tokens are
+      {!Pfi_tcp.Profile.find} names/slugs.  Absent = no directive.
+    - [phase handshake|stream|close ...] — (tcp groups) workload-phase
+      axis, emitted as a [phase] directive per scenario.
     - [seed N] — pins every scenario of the group to this exact seed
       (otherwise each scenario gets a seed derived from the matrix seed
       and its name).
@@ -61,7 +66,8 @@
     count; a single sweep may produce at most 1000 values and a matrix
     at most 10000 scenarios.
 
-    Scenario names are [GROUP/HARNESS/SIDE/FAULT-SLUG[@V1,V2,...]]
+    Scenario names are
+    [GROUP/HARNESS/SIDE[/PROFILE][/PHASE]/FAULT-SLUG[@V1,V2,...]]
     (swept template values appended), and must be unique across the
     whole corpus — a collision is a {!Scenario.Parse_error}, as is
     every syntax or expansion error, naming the matrix line and
@@ -74,6 +80,12 @@ type group = {
   g_name : string;
   g_harnesses : string list;
   g_sides : string list;  (** nonempty; defaulted to [["both"]] *)
+  g_profiles : string list;
+      (** vendor-profile axis (canonical {!Pfi_tcp.Profile.slug}s);
+          empty when the group has no [profile] directive *)
+  g_phases : string list;
+      (** workload-phase axis ([handshake]/[stream]/[close]); empty
+          when the group has no [phase] directive *)
   g_seed : int64 option;  (** pinned seed, overriding derivation *)
   g_horizon : string option;  (** raw duration token *)
   g_faults : (int * string list) list;

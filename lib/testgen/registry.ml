@@ -9,3 +9,23 @@ let names = List.map Harness_intf.name entries
 
 let find name =
   List.find_opt (fun entry -> Harness_intf.name entry = name) entries
+
+let find_configured ?profile ?phase name =
+  match (profile, phase) with
+  | None, None -> find name
+  | _ when name <> "tcp" -> None
+  | _ -> (
+      let profile =
+        match profile with
+        | None -> Some Pfi_tcp.Profile.xkernel
+        | Some p -> Pfi_tcp.Profile.find p
+      in
+      let phase =
+        match phase with
+        | None -> Some Tcp_harness.Stream
+        | Some ph -> Tcp_harness.phase_of_string ph
+      in
+      match (profile, phase) with
+      | Some profile, Some phase ->
+        Some (Tcp_harness.harness ~profile ~phase ())
+      | _ -> None)

@@ -13,3 +13,12 @@ val entries : Harness_intf.packed list
 val names : string list
 
 val find : string -> Harness_intf.packed option
+
+val find_configured :
+  ?profile:string -> ?phase:string -> string -> Harness_intf.packed option
+(** {!find}, but when the scenario carries [profile] / [phase]
+    directives the ["tcp"] harness is built parameterised over the
+    named vendor {!Pfi_tcp.Profile.t} and workload phase instead of
+    the stock entry.  Returns [None] for an unknown harness, an
+    unknown profile/phase token, or a directive applied to a harness
+    that has no such knob (only ["tcp"] does). *)

@@ -48,6 +48,8 @@ type check = {
 type t = {
   sc_name : string;
   sc_harness : string;
+  sc_profile : string option;
+  sc_phase : string option;
   sc_seed : int64 option;
   sc_horizon : Vtime.t option;
   sc_faults : (Campaign.side * Generator.fault) list;
@@ -302,6 +304,7 @@ let parse ?(name = "scenario") src =
   let sc_name = ref name in
   let harness = ref None (* (name, packed) *) in
   let seed = ref None and horizon = ref None and xfail = ref None in
+  let profile = ref None and phase = ref None in
   let faults = ref [] and injections = ref [] and checks = ref [] in
   (* the relative-time clock: [@+DUR] means DUR after the previous
      [@]-prefixed directive's time (zero before any) *)
@@ -370,6 +373,36 @@ let parse ?(name = "scenario") src =
          (match rest with
           | [ d ] -> once line "horizon" horizon (parse_duration ~line d)
           | _ -> err line "horizon" "usage: horizon DURATION")
+       | "profile" ->
+         no_time ();
+         (match rest with
+          | [ p ] ->
+            let hname, _ = need_harness line "profile" in
+            if hname <> "tcp" then
+              err line p "profile applies only to the tcp harness";
+            (match Pfi_tcp.Profile.find p with
+             | Some prof ->
+               once line "profile" profile (Pfi_tcp.Profile.slug prof)
+             | None ->
+               err line p
+                 (Printf.sprintf "unknown vendor profile (expected one of %s)"
+                    (String.concat ", "
+                       (List.map Pfi_tcp.Profile.slug
+                          (Pfi_tcp.Profile.xkernel
+                          :: Pfi_tcp.Profile.all_vendors)))))
+          | _ -> err line "profile" "usage: profile VENDOR")
+       | "phase" ->
+         no_time ();
+         (match rest with
+          | [ p ] ->
+            let hname, _ = need_harness line "phase" in
+            if hname <> "tcp" then
+              err line p "phase applies only to the tcp harness";
+            (match Tcp_harness.phase_of_string p with
+             | Some ph -> once line "phase" phase (Tcp_harness.phase_name ph)
+             | None ->
+               err line p "unknown phase (expected handshake, stream or close)")
+          | _ -> err line "phase" "usage: phase handshake|stream|close")
        | "xfail" ->
          no_time ();
          if rest = [] then
@@ -468,8 +501,8 @@ let parse ?(name = "scenario") src =
          checks := { chk_line = line; chk_expect = expect } :: !checks
        | _ ->
          err line keyword
-           "unknown directive (expected name, run, seed, horizon, fault, \
-            inject, expect or xfail)")
+           "unknown directive (expected name, run, profile, phase, seed, \
+            horizon, fault, inject, expect or xfail)")
   in
   let lines = String.split_on_char '\n' src in
   List.iteri (fun i line -> handle (i + 1) (tokens_of line)) lines;
@@ -479,6 +512,8 @@ let parse ?(name = "scenario") src =
   | Some (hname, _) ->
     { sc_name = !sc_name;
       sc_harness = hname;
+      sc_profile = !profile;
+      sc_phase = !phase;
       sc_seed = !seed;
       sc_horizon = !horizon;
       sc_faults = List.rev !faults;
@@ -639,13 +674,26 @@ let injection_to_line inj =
 
 let to_string sc =
   let packed =
-    match Registry.find sc.sc_harness with
+    match
+      Registry.find_configured ?profile:sc.sc_profile ?phase:sc.sc_phase
+        sc.sc_harness
+    with
     | Some p -> p
     | None ->
       invalid_arg
-        (Printf.sprintf "Scenario.to_string: unknown harness %S" sc.sc_harness)
+        (Printf.sprintf
+           "Scenario.to_string: unknown harness/profile/phase %S%s%s"
+           sc.sc_harness
+           (match sc.sc_profile with
+            | Some p -> Printf.sprintf " profile %S" p
+            | None -> "")
+           (match sc.sc_phase with
+            | Some p -> Printf.sprintf " phase %S" p
+            | None -> ""))
   in
   let spec = Harness_intf.spec packed in
+  Option.iter (require_plain "profile") sc.sc_profile;
+  Option.iter (require_plain "phase") sc.sc_phase;
   require_plain_words "scenario name" sc.sc_name;
   Option.iter (require_plain_words "xfail substring") sc.sc_xfail;
   List.iter
@@ -680,6 +728,8 @@ let to_string sc =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   line "name %s" sc.sc_name;
   line "run %s" sc.sc_harness;
+  Option.iter (fun p -> line "profile %s" p) sc.sc_profile;
+  Option.iter (fun p -> line "phase %s" p) sc.sc_phase;
   Option.iter (fun s -> line "seed %Ld" s) sc.sc_seed;
   Option.iter (fun h -> line "horizon %s" (duration_to_string h)) sc.sc_horizon;
   List.iter
@@ -769,7 +819,10 @@ let injection_script inj =
 
 let run ?seed ?(observe = Campaign.silent) sc =
   let packed =
-    match Registry.find sc.sc_harness with
+    match
+      Registry.find_configured ?profile:sc.sc_profile ?phase:sc.sc_phase
+        sc.sc_harness
+    with
     | Some h -> h
     | None -> failwith ("scenario harness vanished from the registry: " ^ sc.sc_harness)
   in

@@ -29,6 +29,14 @@
     Directives:
     - [run HARNESS] — a {!Registry} harness name; must precede every
       directive that needs the protocol spec.
+    - [profile VENDOR] — (tcp only) run both endpoints on the named
+      vendor profile ({!Pfi_tcp.Profile.find}: a case-insensitive name
+      or slug such as [sunos-4.1.3], [solaris-2.3], [x-kernel]).
+    - [phase handshake|stream|close] — (tcp only) where in the
+      connection lifecycle the fault window sits: [handshake] performs
+      the active open {e under} the installed filters, [stream]
+      (default) faults a pre-opened bulk transfer, [close] adds an
+      orderly client close whose teardown must complete via TIME_WAIT.
     - [seed N] / [horizon DURATION] — defaults for the run (the
       harness's own defaults otherwise).  Durations are [NUMBER] plus
       one of [us ms s m h], e.g. [500ms], [1.5s], [2m].
@@ -106,6 +114,13 @@ type check = {
 type t = {
   sc_name : string;
   sc_harness : string;
+  sc_profile : string option;
+      (** [profile VENDOR] directive (tcp only): the vendor profile
+          both endpoints run, stored as the canonical
+          {!Pfi_tcp.Profile.slug} *)
+  sc_phase : string option;
+      (** [phase handshake|stream|close] directive (tcp only): which
+          part of the connection lifecycle the fault window covers *)
   sc_seed : int64 option;
   sc_horizon : Vtime.t option;
   sc_faults : (Campaign.side * Generator.fault) list;

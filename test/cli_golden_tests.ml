@@ -56,6 +56,10 @@ let test_help_gen () =
 let test_help_fuzz () =
   check_golden ~path:"golden/help_fuzz.expected" (run_cli [ "help"; "fuzz" ])
 
+let test_help_matrix () =
+  check_golden ~path:"golden/help_matrix.expected"
+    (run_cli [ "help"; "matrix" ])
+
 (* ------------------------------------------------------------------ *)
 (* `pfi_run gen` on the tiny fixed matrix: the generated file set and  *)
 (* manifest are pinned byte-for-byte, and generation is deterministic  *)
@@ -121,6 +125,7 @@ let suite =
     Alcotest.test_case "pfi_run help campaign golden" `Quick test_help_campaign;
     Alcotest.test_case "pfi_run help gen golden" `Quick test_help_gen;
     Alcotest.test_case "pfi_run help fuzz golden" `Quick test_help_fuzz;
+    Alcotest.test_case "pfi_run help matrix golden" `Quick test_help_matrix;
     Alcotest.test_case "pfi_run gen tiny corpus matches the goldens" `Quick
       test_gen_tiny_golden;
     Alcotest.test_case "pfi_run gen is deterministic across runs" `Quick

@@ -293,6 +293,12 @@ let abp_ack_message =
      Option.get
        (Spec.find_message (Harness_intf.spec packed) "ACK"))
 
+let tcp_rst_message =
+  lazy
+    (let packed = Option.get (Registry.find "tcp") in
+     Option.get
+       (Spec.find_message (Harness_intf.spec packed) "RST"))
+
 let gen_scenario =
   let open QCheck.Gen in
   let word =
@@ -395,8 +401,48 @@ let gen_scenario =
       (oneofl [ "bob"; "carol" ])
   in
   let name = map (String.concat " ") (list_size (int_range 1 3) word) in
+  (* tcp variant: keep the same structural skeleton but rebase it on the
+     tcp spec so the profile/phase directives round-trip too *)
+  let tcp_cfg =
+    oneof
+      [ return None;
+        map
+          (fun pp -> Some pp)
+          (pair
+             (opt
+                (oneofl
+                   [ "sunos-4.1.3"; "aix-3.2.3"; "next-mach"; "solaris-2.3";
+                     "x-kernel" ]))
+             (opt (oneofl [ "handshake"; "stream"; "close" ]))) ]
+  in
+  let rebase_tcp (prof, ph) sc =
+    let mt = function "MSG" -> "DATA" | t -> t in
+    let remap_fault = function
+      | Generator.Drop_all t -> Generator.Drop_all (mt t)
+      | Generator.Drop_after (t, n) -> Generator.Drop_after (mt t, n)
+      | Generator.Drop_first (t, n) -> Generator.Drop_first (mt t, n)
+      | Generator.Drop_nth (t, n) -> Generator.Drop_nth (mt t, n)
+      | Generator.Drop_fraction (t, p) -> Generator.Drop_fraction (mt t, p)
+      | Generator.Delay_each (t, s) -> Generator.Delay_each (mt t, s)
+      | Generator.Duplicate t -> Generator.Duplicate (mt t)
+      | Generator.Corrupt (t, p) -> Generator.Corrupt (mt t, p)
+      | Generator.Reorder t -> Generator.Reorder (mt t)
+      | Generator.Inject_spurious (_, dst) ->
+        Generator.Inject_spurious (Lazy.force tcp_rst_message, dst)
+      | (Generator.Omission_all _ | Generator.Byzantine_mix _) as f -> f
+    in
+    { sc with
+      Scenario.sc_harness = "tcp";
+      sc_profile = prof;
+      sc_phase = ph;
+      sc_faults = List.map (fun (s, f) -> (s, remap_fault f)) sc.Scenario.sc_faults;
+      sc_injections =
+        List.map
+          (fun i -> { i with Scenario.inj_mtype = "RST"; inj_args = [ ("type", "RST") ] })
+          sc.Scenario.sc_injections }
+  in
   map
-    (fun (name, seed, horizon, faults, injections, checks, xfail) ->
+    (fun ((name, seed, horizon, faults, injections, checks, xfail), tcp_cfg) ->
       (* identical expect directives are a parse error by design, so the
          generator dedups the check list *)
       let checks =
@@ -406,21 +452,30 @@ let gen_scenario =
             else acc @ [ { Scenario.chk_line = 0; chk_expect = c } ])
           [] checks
       in
-      { Scenario.sc_name = name;
-        sc_harness = "abp";
-        sc_seed = Option.map Int64.of_int seed;
-        sc_horizon = horizon;
-        sc_faults = faults;
-        sc_injections = injections;
-        sc_checks = checks;
-        sc_xfail = xfail })
-    (tup7 name
-       (opt (int_range (-1000) 1000))
-       (opt vtime)
-       (list_size (int_range 0 3) (pair side fault))
-       (list_size (int_range 0 3) injection)
-       (list_size (int_range 0 5) check)
-       (opt name))
+      let sc =
+        { Scenario.sc_name = name;
+          sc_harness = "abp";
+          sc_profile = None;
+          sc_phase = None;
+          sc_seed = Option.map Int64.of_int seed;
+          sc_horizon = horizon;
+          sc_faults = faults;
+          sc_injections = injections;
+          sc_checks = checks;
+          sc_xfail = xfail }
+      in
+      match tcp_cfg with
+      | None -> sc
+      | Some pp -> rebase_tcp pp sc)
+    (pair
+       (tup7 name
+          (opt (int_range (-1000) 1000))
+          (opt vtime)
+          (list_size (int_range 0 3) (pair side fault))
+          (list_size (int_range 0 3) injection)
+          (list_size (int_range 0 5) check)
+          (opt name))
+       tcp_cfg)
 
 let prop_round_trip =
   QCheck.Test.make

@@ -16,4 +16,5 @@ let () =
       ("scenario", Scenario_tests.suite);
       ("matrix", Matrix_tests.suite);
       ("cli-golden", Cli_golden_tests.suite);
+      ("conformance", Conformance_tests.suite);
       ("properties", Property_tests.suite) ]
